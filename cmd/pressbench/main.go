@@ -1,0 +1,133 @@
+// Command pressbench regenerates every table and figure of the paper's
+// evaluation section: Table 1, the per-fault timelines behind Figures 2-5,
+// the modeled unavailability/performability of Figure 6, the pessimistic
+// VIA fault-load scenarios of Figures 7-10, and the ≈4× crossover claim.
+//
+// The full paper-scale campaign (-full) takes several minutes of wall
+// time; the default quick scale preserves all behaviours on a smaller
+// working set and finishes much faster. Results from a full run are
+// recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	pressbench [-full] [-seed 1] [-only table1,fig2,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"vivo/internal/experiments"
+	"vivo/internal/press"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper-scale deployment and loads")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,crossover,extension,sweep,scaling,multifault")
+	flag.Parse()
+
+	opt := experiments.Quick()
+	if *full {
+		opt = experiments.Full()
+	}
+	opt.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, part := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(part)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	start := time.Now()
+	if sel("table1") {
+		section("Table 1")
+		fmt.Print(experiments.RenderTable1(experiments.Table1(opt)))
+	}
+	timelineFigs := []struct {
+		name string
+		fn   func(experiments.Options) []experiments.FaultRun
+		desc string
+	}{
+		{"fig2", experiments.Figure2, "Figure 2: transient link failure"},
+		{"fig3", experiments.Figure3, "Figure 3: node crash"},
+		{"fig4", experiments.Figure4, "Figure 4: memory exhaustion"},
+		{"fig5", experiments.Figure5, "Figure 5: NULL pointer passed to send"},
+	}
+	for _, fig := range timelineFigs {
+		if !sel(fig.name) {
+			continue
+		}
+		section(fig.desc)
+		for _, fr := range fig.fn(opt) {
+			fmt.Println(fr.String())
+			fmt.Print(fr.Timeline.Plot(8, 96))
+			fmt.Println()
+		}
+	}
+
+	needCampaign := false
+	for _, n := range []string{"fig6", "fig7", "fig8", "fig9", "fig10", "crossover", "extension", "sweep", "scaling"} {
+		if sel(n) {
+			needCampaign = true
+		}
+	}
+	if needCampaign {
+		section("Phase-1 campaign (5 versions x 11 faults)")
+		c := experiments.RunCampaign(opt)
+		fmt.Printf("campaign done in %v\n", time.Since(start).Round(time.Second))
+		if sel("fig6") {
+			section("Figure 6")
+			fmt.Print(experiments.RenderFigure6(experiments.Figure6(c)))
+		}
+		if sel("fig7") {
+			section("Figure 7")
+			fmt.Print(experiments.RenderScenario("Performability with VIA packet drops (reset the channel; TCP unaffected)", experiments.Figure7(c)))
+		}
+		if sel("fig8") {
+			section("Figure 8")
+			fmt.Print(experiments.RenderScenario("Performability with extra VIA software bugs (TCP at 1/month)", experiments.Figure8(c)))
+		}
+		if sel("fig9") {
+			section("Figure 9")
+			fmt.Print(experiments.RenderScenario("Performability with VIA system faults (switch-crash-like)", experiments.Figure9(c)))
+		}
+		if sel("fig10") {
+			section("Figure 10")
+			fmt.Print(experiments.RenderScenario("Performability under the combined pessimistic VIA load", experiments.Figure10(c)))
+		}
+		if sel("crossover") {
+			section("Crossover (the paper's ~4x claim)")
+			fmt.Print(experiments.RenderCrossover(experiments.Crossover(c)))
+		}
+		if sel("sweep") {
+			section("Application-fault-rate sweep (beyond the paper's two points)")
+			fmt.Print(experiments.RenderAppRateSweep(c))
+		}
+		if sel("scaling") {
+			section("Cluster-size scaling (extension study)")
+			rows := experiments.ClusterScaling(c, experiments.BestVIAVersion, []int{2, 4, 6, 8}, opt)
+			fmt.Print(experiments.RenderClusterScaling(rows, experiments.BestVIAVersion))
+		}
+	}
+	if sel("extension") {
+		section("Extension: ROBUST-PRESS (the layer §7 proposes)")
+		fmt.Print(experiments.RenderExtension(experiments.RunExtension(opt)))
+	}
+	if sel("multifault") {
+		section("Extension: overlapping faults vs the single-fault model assumption")
+		for _, v := range []press.Version{press.TCPPress, press.VIAPress5} {
+			fmt.Print(experiments.RenderMultiFault(experiments.MultiFaultStudy(v, opt)))
+			fmt.Println()
+		}
+	}
+	fmt.Printf("\ntotal wall time %v\n", time.Since(start).Round(time.Second))
+}
+
+func section(title string) {
+	fmt.Printf("\n===== %s =====\n", title)
+}

@@ -1,0 +1,91 @@
+// Command presssim runs one PRESS deployment under steady client load and
+// reports throughput and availability — the quickest way to see the
+// simulated cluster working.
+//
+// Usage:
+//
+//	presssim [-version VIA-PRESS-5] [-rate 6000] [-duration 60s] [-seed 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"vivo/internal/metrics"
+	"vivo/internal/press"
+	"vivo/internal/sim"
+	"vivo/internal/workload"
+)
+
+func main() {
+	versionName := flag.String("version", "VIA-PRESS-5", "PRESS version (TCP-PRESS, TCP-PRESS-HB, VIA-PRESS-0, VIA-PRESS-3, VIA-PRESS-5)")
+	rate := flag.Float64("rate", 6000, "offered client load, requests/second")
+	duration := flag.Duration("duration", 60*time.Second, "simulated run length")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	verbose := flag.Bool("v", false, "print per-second timeline")
+	logPath := flag.String("log", "", "replay a Common Log Format access log instead of the synthetic Zipf trace")
+	flag.Parse()
+
+	v, ok := versionByName(*versionName)
+	if !ok {
+		log.Fatalf("unknown version %q", *versionName)
+	}
+
+	k := sim.New(*seed)
+	cfg := press.DefaultConfig(v)
+	var trace workload.Sampler
+	if *logPath != "" {
+		f, err := os.Open(*logPath)
+		if err != nil {
+			log.Fatalf("open log: %v", err)
+		}
+		lt, err := workload.ParseCommonLog(f, int(cfg.FileSize))
+		f.Close()
+		if err != nil {
+			log.Fatalf("parse log: %v", err)
+		}
+		cfg.WorkingSetFiles = lt.Config().Files
+		fmt.Printf("replaying %d requests over %d distinct documents from %s\n",
+			lt.Len(), lt.Config().Files, *logPath)
+		trace = lt
+	} else {
+		trace = workload.NewTrace(workload.TraceConfig{
+			Files:    cfg.WorkingSetFiles,
+			FileSize: int(cfg.FileSize),
+			ZipfS:    1.2,
+		}, rand.New(rand.NewSource(*seed+1)))
+	}
+	rec := metrics.NewRecorder(k, time.Second)
+	d := press.NewDeployment(k, cfg)
+	d.Start()
+	d.WarmStart()
+	cl := workload.NewClients(k, workload.DefaultClients(*rate, cfg.Nodes), trace, d, rec)
+	cl.Start()
+
+	start := time.Now()
+	k.Run(*duration)
+	wall := time.Since(start)
+
+	served, failed := rec.Totals()
+	fmt.Printf("%s: %v simulated in %v wall (%d events)\n", v, *duration, wall.Round(time.Millisecond), k.Steps())
+	fmt.Printf("offered %.0f req/s, served %d, failed %d, availability %.4f\n",
+		*rate, served, failed, rec.Availability())
+	fmt.Printf("mean throughput %.0f req/s (paper Table 1 capacity: %.0f)\n",
+		rec.Timeline().MeanThroughput(10*time.Second, *duration), press.Table1Throughput(v))
+	if *verbose {
+		fmt.Fprint(os.Stdout, rec.Timeline().String())
+	}
+}
+
+func versionByName(name string) (press.Version, bool) {
+	for _, v := range press.Versions {
+		if v.String() == name {
+			return v, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,33 @@
+// Package vivo is a full reproduction, in simulation, of "Evaluating the
+// Impact of Communication Architecture on the Performability of
+// Cluster-Based Services" (Nagaraja, Krishnan, Bianchini, Martin, Nguyen —
+// HPCA 2003).
+//
+// The repository contains, built from scratch on a deterministic
+// discrete-event kernel:
+//
+//   - a 4-node cluster hardware model (nodes, CPUs, links, switch, disks)
+//     with fail-stop faults — internal/cluster;
+//   - behavioural TCP and VIA protocol simulators that reproduce the
+//     availability-relevant properties of each substrate (byte streams,
+//     retransmission and minute-scale aborts vs. message boundaries,
+//     pre-allocation and fail-stop breaks) — internal/tcpsim,
+//     internal/viasim;
+//   - the PRESS locality-conscious web server in the paper's five
+//     versions, with cooperative caching, heartbeats, reconfiguration and
+//     rejoin — internal/press;
+//   - a Mendosus-style fault injector covering Table 2 — internal/faults;
+//   - the two-phase performability methodology (7-stage model, Table 3
+//     fault loads, the performability metric, crossover analysis) —
+//     internal/core;
+//   - experiment drivers that regenerate Table 1 and Figures 2-10 —
+//     internal/experiments.
+//
+// Entry points: cmd/pressbench regenerates every table and figure;
+// cmd/presssim runs a steady-state cluster; cmd/faultinject runs a single
+// fault experiment; the examples directory shows the public API.
+//
+// The benchmarks in bench_test.go (run with `go test -bench=.`) execute
+// one experiment per table/figure plus the design-choice ablations listed
+// in DESIGN.md.
+package vivo

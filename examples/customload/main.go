@@ -1,0 +1,73 @@
+// Customload shows how to use the performability model as a design tool,
+// the way §6.3 of the paper suggests: plug your own fault-rate estimates
+// into a measured server behaviour and compare deployment options.
+//
+// Here an operator who believes their environment sees many node crashes
+// (cheap hardware, 1/week per node) but very reliable software (app
+// faults 1/quarter) asks which PRESS version to deploy.
+//
+//	go run ./examples/customload
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"vivo/internal/core"
+	"vivo/internal/experiments"
+	"vivo/internal/press"
+)
+
+func main() {
+	fmt.Println("measuring server behaviour under injected faults...")
+	opt := experiments.Quick()
+	// Example-sized protocol: shorter observation windows keep the whole
+	// campaign around a minute; use experiments.Full() for paper scale.
+	opt.LoadFraction = 0.35
+	opt.FaultDuration = 45 * time.Second
+	opt.Observe = 90 * time.Second
+	c := experiments.RunCampaign(opt)
+
+	// Start from Table 3 and override with this operator's estimates.
+	load := core.DefaultFaultLoad(90 * core.Day) // app faults 1/quarter
+	load[core.NodeCrash] = core.Rates{MTTF: core.Week, MTTR: 5 * time.Minute}
+	load[core.NodeFreeze] = core.Rates{MTTF: 2 * core.Week, MTTR: 5 * time.Minute}
+	load[core.LinkDown] = core.Rates{MTTF: 30 * core.Day, MTTR: 10 * time.Minute}
+
+	fmt.Println("\ncustom environment: node crashes 1/week, app faults 1/quarter")
+	fmt.Printf("%-14s %8s %14s %14s\n", "version", "Tn", "availability", "performability")
+	best, bestP := press.TCPPress, 0.0
+	for _, v := range press.Versions {
+		m := c.Model(v, load)
+		res := m.Evaluate()
+		p := m.Performability()
+		fmt.Printf("%-14s %8.0f %14.5f %14.0f\n", v, m.Tn, res.AA, p)
+		if p > bestP {
+			best, bestP = v, p
+		}
+	}
+	fmt.Printf("\nrecommended deployment: %s\n", best)
+
+	// Planning question from the paper's conclusion: how rare would
+	// application faults have to be to reach three nines?
+	if need, ok := c.Model(best, load).RequiredAppMTTF(0.999, 365*core.Day); ok {
+		fmt.Printf("to reach 99.9%% availability, application faults must be rarer than one per %.0f days\n",
+			need.Hours()/24)
+	} else {
+		fmt.Println("99.9% availability is out of reach even with perfect software (other faults dominate)")
+	}
+
+	// The same operator can ask what-if questions: how bad would VIA
+	// firmware have to be before TCP wins here?
+	ref := c.Model(press.TCPPressHB, load)
+	pen := c.Model(best, load)
+	if best.UsesVIA() {
+		k, ok := core.CrossoverScale(ref, pen, []core.FaultClass{
+			core.SwitchDown, core.LinkDown, core.ProcCrash, core.ProcHang,
+			core.BadNull, core.BadOffPtr, core.BadOffSize,
+		}, 1000)
+		if ok {
+			fmt.Printf("it keeps winning until its fault rates exceed %.1fx TCP's\n", k)
+		}
+	}
+}

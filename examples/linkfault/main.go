@@ -1,0 +1,50 @@
+// Linkfault reproduces the experiment behind Figure 2 of the paper at
+// reduced scale: a transient intra-cluster link failure injected into
+// TCP-PRESS, TCP-PRESS-HB and VIA-PRESS-5, showing the three very
+// different reactions — TCP-PRESS stalls for the whole fault and then
+// recovers; TCP-PRESS-HB detects in ~15 s via heartbeats and splinters
+// 3+1 with no re-merge; the VIA versions break connections within a
+// second and splinter the same way.
+//
+//	go run ./examples/linkfault
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"vivo/internal/experiments"
+	"vivo/internal/faults"
+	"vivo/internal/press"
+)
+
+func main() {
+	opt := experiments.Quick()
+	for _, v := range []press.Version{press.TCPPress, press.TCPPressHB, press.VIAPress5} {
+		fr := experiments.RunFault(v, faults.LinkDown, opt)
+		fmt.Printf("=== %s ===\n", v)
+		m := fr.Measured
+		fmt.Printf("normal throughput:     %6.0f req/s\n", m.Tn)
+		if fr.Obs.HasDetect {
+			fmt.Printf("fault detected after:  %6.1f s\n", (fr.Obs.Detected - fr.Obs.Injected).Seconds())
+		} else {
+			fmt.Printf("fault never detected (TCP retries absorb it)\n")
+		}
+		fmt.Printf("throughput during A:   %6.0f req/s for %.1fs\n", m.TA, m.DA.Seconds())
+		fmt.Printf("stable degraded (C):   %6.0f req/s\n", m.TC)
+		fmt.Printf("after link repair (E): %6.0f req/s\n", m.TE)
+		fmt.Printf("splintered at end:     %v\n\n", m.Splintered)
+		// Print the seconds around injection and repair, the shape the
+		// paper plots.
+		tl := fr.Timeline
+		fmt.Printf("timeline excerpt (fault at %.0fs, repair at %.0fs):\n",
+			opt.Stabilize.Seconds(), (opt.Stabilize + opt.FaultDuration).Seconds())
+		for _, p := range tl.Points {
+			s := int(p.At / time.Second)
+			if s >= 25 && s <= 140 && s%5 == 0 {
+				fmt.Printf("  %4ds %8.0f req/s\n", s, p.Throughput)
+			}
+		}
+		fmt.Println()
+	}
+}

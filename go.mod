@@ -1,0 +1,3 @@
+module vivo
+
+go 1.22

@@ -1,0 +1,357 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vivo/internal/sim"
+)
+
+func testCluster(t *testing.T) (*sim.Kernel, *Cluster) {
+	t.Helper()
+	k := sim.New(1)
+	return k, New(k, DefaultConfig())
+}
+
+func TestTransmitDelivers(t *testing.T) {
+	k, c := testCluster(t)
+	var got []Packet
+	c.Node(1).RegisterProto("tcp", func(p Packet) { got = append(got, p) })
+	c.Transmit(Packet{Src: 0, Dst: 1, Size: 1500, Proto: "tcp", Payload: "hello"})
+	k.RunAll()
+	if len(got) != 1 || got[0].Payload != "hello" {
+		t.Fatalf("delivered = %v, want one packet with payload hello", got)
+	}
+	// 1500 B at 125 MB/s = 12 us per link, two links, plus latencies.
+	min := 2 * (12 * time.Microsecond)
+	if k.Now() < min {
+		t.Fatalf("delivery at %v, faster than physically possible %v", k.Now(), min)
+	}
+	if k.Now() > 100*time.Microsecond {
+		t.Fatalf("delivery at %v, absurdly slow for a SAN", k.Now())
+	}
+}
+
+func TestTransmitOrderingPreservedPerPath(t *testing.T) {
+	k, c := testCluster(t)
+	var got []int
+	c.Node(1).RegisterProto("tcp", func(p Packet) { got = append(got, p.Payload.(int)) })
+	for i := 0; i < 20; i++ {
+		c.Transmit(Packet{Src: 0, Dst: 1, Size: 8192, Proto: "tcp", Payload: i})
+	}
+	k.RunAll()
+	if len(got) != 20 {
+		t.Fatalf("delivered %d packets, want 20", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order delivery: %v", got)
+		}
+	}
+}
+
+func TestLinkSerializationDelays(t *testing.T) {
+	k, c := testCluster(t)
+	var times []sim.Time
+	c.Node(1).RegisterProto("t", func(p Packet) { times = append(times, k.Now()) })
+	// Two back-to-back 125000-byte packets: 1 ms serialization each.
+	c.Transmit(Packet{Src: 0, Dst: 1, Size: 125000, Proto: "t"})
+	c.Transmit(Packet{Src: 0, Dst: 1, Size: 125000, Proto: "t"})
+	k.RunAll()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	gap := times[1] - times[0]
+	if gap < 900*time.Microsecond || gap > 1100*time.Microsecond {
+		t.Fatalf("inter-arrival gap = %v, want about 1ms of serialization", gap)
+	}
+}
+
+func TestLinkDownDropsSilently(t *testing.T) {
+	k, c := testCluster(t)
+	n := 0
+	c.Node(1).RegisterProto("t", func(p Packet) { n++ })
+	c.Node(0).Link.Up = false
+	c.Transmit(Packet{Src: 0, Dst: 1, Size: 100, Proto: "t"})
+	c.Node(0).Link.Up = true
+	c.Node(1).Link.Up = false
+	c.Transmit(Packet{Src: 0, Dst: 1, Size: 100, Proto: "t"})
+	k.RunAll()
+	if n != 0 {
+		t.Fatalf("packets delivered over a dead link: %d", n)
+	}
+}
+
+func TestSwitchDownDropsAll(t *testing.T) {
+	k, c := testCluster(t)
+	n := 0
+	for _, node := range c.Nodes {
+		node.RegisterProto("t", func(p Packet) { n++ })
+	}
+	c.Sw.Up = false
+	for i := 1; i < 4; i++ {
+		c.Transmit(Packet{Src: 0, Dst: i, Size: 100, Proto: "t"})
+	}
+	k.RunAll()
+	if n != 0 {
+		t.Fatalf("switch down but %d packets delivered", n)
+	}
+}
+
+func TestCrashedDestinationDrops(t *testing.T) {
+	k, c := testCluster(t)
+	n := 0
+	c.Node(1).RegisterProto("t", func(p Packet) { n++ })
+	c.Node(1).Crash()
+	c.Transmit(Packet{Src: 0, Dst: 1, Size: 100, Proto: "t"})
+	k.RunAll()
+	if n != 0 {
+		t.Fatal("delivered to a crashed node")
+	}
+}
+
+func TestFrozenDestinationDrops(t *testing.T) {
+	k, c := testCluster(t)
+	n := 0
+	c.Node(1).RegisterProto("t", func(p Packet) { n++ })
+	c.Node(1).Freeze()
+	c.Transmit(Packet{Src: 0, Dst: 1, Size: 100, Proto: "t"})
+	k.RunAll()
+	if n != 0 {
+		t.Fatal("delivered to a frozen node")
+	}
+}
+
+func TestInFlightPacketDroppedAcrossReboot(t *testing.T) {
+	k, c := testCluster(t)
+	n := 0
+	c.Node(1).RegisterProto("t", func(p Packet) { n++ })
+	c.Transmit(Packet{Src: 0, Dst: 1, Size: 100, Proto: "t"})
+	// Crash and instantly boot before the packet arrives: incarnation
+	// changed, so the packet must not be delivered to the new session.
+	c.Node(1).Crash()
+	c.Node(1).Boot()
+	k.RunAll()
+	if n != 0 {
+		t.Fatal("stale packet delivered across reboot")
+	}
+}
+
+func TestRebootTimingAndCallbacks(t *testing.T) {
+	k, c := testCluster(t)
+	var crashedAt, bootedAt sim.Time = -1, -1
+	n := c.Node(2)
+	n.OnCrash(func() { crashedAt = k.Now() })
+	n.OnBoot(func() { bootedAt = k.Now() })
+	k.After(10*time.Second, func() { n.Reboot() })
+	k.Run(5 * time.Minute)
+	if crashedAt != 10*time.Second {
+		t.Fatalf("crash at %v, want 10s", crashedAt)
+	}
+	if bootedAt != 10*time.Second+c.Cfg.RebootTime {
+		t.Fatalf("boot at %v, want %v", bootedAt, 10*time.Second+c.Cfg.RebootTime)
+	}
+	if !n.Up {
+		t.Fatal("node should be up after reboot")
+	}
+	if n.Incarnation() != 1 {
+		t.Fatalf("incarnation = %d, want 1", n.Incarnation())
+	}
+}
+
+func TestCrashClearsProtoHandlers(t *testing.T) {
+	k, c := testCluster(t)
+	n := 0
+	c.Node(1).RegisterProto("t", func(p Packet) { n++ })
+	c.Node(1).Crash()
+	c.Node(1).Boot()
+	c.Transmit(Packet{Src: 0, Dst: 1, Size: 100, Proto: "t"})
+	k.RunAll()
+	if n != 0 {
+		t.Fatal("handler from previous incarnation survived crash")
+	}
+}
+
+func TestCPUFIFOAndCost(t *testing.T) {
+	k, c := testCluster(t)
+	cpu := c.Node(0).CPU
+	var done []int
+	var times []sim.Time
+	for i := 0; i < 3; i++ {
+		i := i
+		cpu.Submit(10*time.Millisecond, func() {
+			done = append(done, i)
+			times = append(times, k.Now())
+		})
+	}
+	k.RunAll()
+	if len(done) != 3 || done[0] != 0 || done[2] != 2 {
+		t.Fatalf("completion order %v", done)
+	}
+	for i, at := range times {
+		want := time.Duration(i+1) * 10 * time.Millisecond
+		if at != want {
+			t.Fatalf("task %d completed at %v, want %v", i, at, want)
+		}
+	}
+	if cpu.BusyTime() != 30*time.Millisecond {
+		t.Fatalf("busy = %v, want 30ms", cpu.BusyTime())
+	}
+}
+
+func TestCPUBlockStopsQueueNotCurrentTask(t *testing.T) {
+	k, c := testCluster(t)
+	cpu := c.Node(0).CPU
+	var done []string
+	cpu.Submit(10*time.Millisecond, func() { done = append(done, "a") })
+	cpu.Submit(10*time.Millisecond, func() { done = append(done, "b") })
+	k.After(time.Millisecond, func() { cpu.Block() })
+	k.Run(time.Second)
+	if len(done) != 1 || done[0] != "a" {
+		t.Fatalf("done = %v, want just the in-flight task", done)
+	}
+	cpu.Unblock()
+	k.Run(2 * time.Second)
+	if len(done) != 2 {
+		t.Fatalf("done after unblock = %v, want both", done)
+	}
+}
+
+func TestCPUBlockNests(t *testing.T) {
+	k, c := testCluster(t)
+	cpu := c.Node(0).CPU
+	ran := false
+	cpu.Block()
+	cpu.Block()
+	cpu.Submit(time.Millisecond, func() { ran = true })
+	cpu.Unblock()
+	k.Run(time.Second)
+	if ran {
+		t.Fatal("task ran while still blocked at depth 1")
+	}
+	cpu.Unblock()
+	k.Run(2 * time.Second)
+	if !ran {
+		t.Fatal("task did not run after full unblock")
+	}
+}
+
+func TestCPUFreezeSuspendsMidTask(t *testing.T) {
+	k, c := testCluster(t)
+	n := c.Node(0)
+	var doneAt sim.Time
+	n.CPU.Submit(100*time.Millisecond, func() { doneAt = k.Now() })
+	k.After(30*time.Millisecond, func() { n.Freeze() })
+	k.After(530*time.Millisecond, func() { n.Unfreeze() })
+	k.RunAll()
+	// 30 ms ran, then 500 ms frozen, then remaining 70 ms.
+	if doneAt != 600*time.Millisecond {
+		t.Fatalf("task completed at %v, want 600ms", doneAt)
+	}
+}
+
+func TestCPUCrashDiscardsQueue(t *testing.T) {
+	k, c := testCluster(t)
+	n := c.Node(0)
+	ran := 0
+	for i := 0; i < 5; i++ {
+		n.CPU.Submit(time.Second, func() { ran++ })
+	}
+	k.After(100*time.Millisecond, func() { n.Crash() })
+	k.RunAll()
+	if ran != 0 {
+		t.Fatalf("%d tasks ran despite crash before first completion", ran)
+	}
+}
+
+// Property: the CPU conserves work — with no faults, every submitted task
+// completes exactly once and total busy time equals the sum of costs.
+func TestPropertyCPUConservesWork(t *testing.T) {
+	f := func(costsMs []uint8) bool {
+		k := sim.New(3)
+		c := New(k, DefaultConfig())
+		cpu := c.Node(0).CPU
+		ran := 0
+		var want time.Duration
+		for _, ms := range costsMs {
+			d := time.Duration(ms) * time.Millisecond
+			want += d
+			cpu.Submit(d, func() { ran++ })
+		}
+		k.RunAll()
+		return ran == len(costsMs) && cpu.BusyTime() == want && k.Now() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: packets between healthy nodes are always delivered, and total
+// delivered equals total sent regardless of sizes and pairings.
+func TestPropertyHealthyFabricLossless(t *testing.T) {
+	f := func(sends []struct {
+		Src, Dst uint8
+		Size     uint16
+	}) bool {
+		k := sim.New(5)
+		c := New(k, DefaultConfig())
+		got := 0
+		for _, n := range c.Nodes {
+			n.RegisterProto("t", func(p Packet) { got++ })
+		}
+		sent := 0
+		for _, s := range sends {
+			src, dst := int(s.Src)%4, int(s.Dst)%4
+			if src == dst {
+				continue
+			}
+			c.Transmit(Packet{Src: src, Dst: dst, Size: int(s.Size) + 1, Proto: "t"})
+			sent++
+		}
+		k.RunAll()
+		return got == sent
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleBootCallbacksRunInOrder(t *testing.T) {
+	k, c := testCluster(t)
+	var order []int
+	n := c.Node(0)
+	n.OnBoot(func() { order = append(order, 1) })
+	n.OnBoot(func() { order = append(order, 2) })
+	n.Crash()
+	n.Boot()
+	_ = k
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("boot callback order = %v", order)
+	}
+}
+
+func TestFreezeIsIdempotentAndCrashClearsIt(t *testing.T) {
+	_, c := testCluster(t)
+	n := c.Node(1)
+	n.Freeze()
+	n.Freeze()
+	if !n.Frozen {
+		t.Fatal("not frozen")
+	}
+	n.Crash()
+	if n.Frozen {
+		t.Fatal("crash must clear the frozen state")
+	}
+	n.Unfreeze() // no-op on unfrozen node
+}
+
+func TestBootWhileUpIsNoop(t *testing.T) {
+	_, c := testCluster(t)
+	booted := 0
+	c.Node(0).OnBoot(func() { booted++ })
+	c.Node(0).Boot()
+	if booted != 0 {
+		t.Fatal("boot callbacks ran for an already-up node")
+	}
+}

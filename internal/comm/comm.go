@@ -1,0 +1,85 @@
+// Package comm defines the substrate-independent vocabulary shared by the
+// TCP and VIA simulators and by the PRESS server: application messages,
+// send-call parameters (including the corrupted-parameter fields the fault
+// injector mutates), and the error values that distinguish the substrates'
+// failure semantics.
+package comm
+
+import "errors"
+
+// Message is one application-level message. Payload is carried by
+// reference (the simulation never serializes application data); Size is the
+// number of payload bytes the message occupies on the wire and drives
+// serialization and buffering behaviour.
+type Message struct {
+	Kind    int
+	Size    int
+	Payload any
+}
+
+// SendParams are the parameters of one send call as they cross the
+// application/substrate boundary. The bad-parameter faults of the paper
+// (§4.3) are injected by interposing on this struct before the substrate
+// sees it: a NULL data pointer, a data pointer off by N bytes, or a size
+// off by N bytes (N in 0..100 per the field study the paper cites).
+type SendParams struct {
+	Msg Message
+
+	// NullPtr marks the data pointer as NULL.
+	NullPtr bool
+	// PtrOffset shifts the data pointer by N bytes; the transfer length
+	// is still Msg.Size but the content is garbage.
+	PtrOffset int
+	// SizeOffset adds N to the size parameter handed to the substrate
+	// while the application's framing still declares Msg.Size.
+	SizeOffset int
+}
+
+// WireSize returns the number of bytes the substrate will actually move
+// for this call (the faulted size).
+func (p SendParams) WireSize() int {
+	n := p.Msg.Size + p.SizeOffset
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Corrupted reports whether any bad-parameter fault is present.
+func (p SendParams) Corrupted() bool {
+	return p.NullPtr || p.PtrOffset != 0 || p.SizeOffset != 0
+}
+
+// Errors shared across substrates. Each simulator returns the subset that
+// matches its real counterpart's behaviour.
+var (
+	// ErrWouldBlock: the send queue is full; the caller must wait for a
+	// writable notification. PRESS's main loop blocking on this is what
+	// produces the cluster-wide TCP stall cascades of §5.
+	ErrWouldBlock = errors.New("comm: send queue full")
+
+	// ErrEFAULT: the kernel synchronously rejected a bad data pointer
+	// (TCP's reaction to the NULL-pointer fault).
+	ErrEFAULT = errors.New("comm: EFAULT bad address")
+
+	// ErrBroken: the connection is no longer usable.
+	ErrBroken = errors.New("comm: connection broken")
+
+	// ErrStreamCorrupt: the receiver lost byte-stream framing (TCP after
+	// an off-by-N size fault corrupts everything that follows).
+	ErrStreamCorrupt = errors.New("comm: byte stream framing corrupted")
+
+	// ErrDescriptorError: a VIA descriptor completed with error status
+	// (asynchronous fail-stop error reporting).
+	ErrDescriptorError = errors.New("comm: descriptor completed with error")
+
+	// ErrNoResources: the substrate could not obtain memory for the
+	// operation (kernel memory exhaustion, pin failure).
+	ErrNoResources = errors.New("comm: out of communication resources")
+
+	// ErrBadDescriptor: a robust layer with synchronous descriptor
+	// validation rejected a corrupted send call up front (§7 design);
+	// the channel remains usable and the caller may retry with good
+	// parameters.
+	ErrBadDescriptor = errors.New("comm: descriptor rejected by validation")
+)

@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"vivo/internal/core"
+)
+
+// ExampleModel_Evaluate reproduces the arithmetic of §2.2 on a toy fault:
+// a component that fails once per week and knocks a 1000 req/s server out
+// for its 3-minute repair.
+func ExampleModel_Evaluate() {
+	var stages core.StageParams
+	stages.D[core.StageA] = 3 * time.Minute // undetected until repaired
+	stages.T[core.StageA] = 0               // full outage
+
+	m := core.Model{
+		Tn:       1000,
+		Nodes:    1,
+		Behavior: map[core.FaultClass]core.StageParams{core.NodeCrash: stages},
+		Load: core.FaultLoad{
+			core.NodeCrash: {MTTF: core.Week, MTTR: 3 * time.Minute},
+		},
+	}
+	res := m.Evaluate()
+	fmt.Printf("availability %.5f\n", res.AA)
+	fmt.Printf("unavailability %.5f\n", res.Unavailability)
+	// Output:
+	// availability 0.99970
+	// unavailability 0.00030
+}
+
+// ExamplePerformability shows the metric's two linearities: doubling
+// throughput doubles P, and halving unavailability roughly doubles it.
+func ExamplePerformability() {
+	base := core.Performability(1000, 1-0.002, core.IdealAvailability)
+	twiceTn := core.Performability(2000, 1-0.002, core.IdealAvailability)
+	halfU := core.Performability(1000, 1-0.001, core.IdealAvailability)
+	fmt.Printf("2x throughput: %.1fx\n", twiceTn/base)
+	fmt.Printf("half unavailability: %.1fx\n", halfU/base)
+	// Output:
+	// 2x throughput: 2.0x
+	// half unavailability: 2.0x
+}
+
+// ExampleDefaultFaultLoad shows Table 3 with the application rate split.
+func ExampleDefaultFaultLoad() {
+	load := core.DefaultFaultLoad(core.Day)
+	fmt.Printf("node crash MTTF: %v\n", load[core.NodeCrash].MTTF)
+	fmt.Printf("process crash share of app faults: %.0f%%\n",
+		core.AppFaultShare[core.ProcCrash]*100)
+	// Output:
+	// node crash MTTF: 336h0m0s
+	// process crash share of app faults: 40%
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"time"
+
+	"vivo/internal/metrics"
+	"vivo/internal/sim"
+)
+
+// RunObservation is what phase 1 hands to stage extraction for one
+// (version, fault) experiment: the throughput timeline plus the instants
+// the harness knows exactly (injection, component repair) and the ones the
+// instrumented server reports (first reconfiguration = detection).
+type RunObservation struct {
+	Timeline metrics.Timeline
+
+	// Injected and Repaired bracket the component fault.
+	Injected sim.Time
+	Repaired sim.Time
+
+	// Detected is when the service first reacted (reconfiguration or
+	// fail-fast); HasDetect is false when the service never detected
+	// the fault (e.g. TCP-PRESS waiting out a link failure).
+	Detected  sim.Time
+	HasDetect bool
+
+	// Splintered reports whether the cluster ended the run partitioned
+	// — i.e. full recovery needs an operator reset (stages F and G).
+	Splintered bool
+
+	// Instantaneous marks point faults (application crash, bad
+	// parameters): the "component repair" is the process restart, and
+	// the whole observable response is one degraded window.
+	Instantaneous bool
+
+	// Tn is the no-fault throughput measured before injection.
+	Tn float64
+
+	// End is the end of the observation window.
+	End sim.Time
+}
+
+// Measured summarises the phase-1 measurement of one run: the per-stage
+// average throughputs plus the durations of the stages the experiment can
+// time directly (the transients). The remaining durations are
+// environmental and are filled in by StageParams.
+type Measured struct {
+	TA, TB, TC, TD, TE float64
+	DA, DB, DD         time.Duration
+	Splintered         bool
+	Tn                 float64
+}
+
+// stabilityWindow is the number of consecutive bins that must agree for a
+// transient to be considered over.
+const stabilityWindow = 5
+
+// stabilityTol is the allowed relative deviation inside the window.
+const stabilityTol = 0.1
+
+// stableToward scans [from, to) for the first instant where the next
+// stabilityWindow bins all sit within tolerance of level — i.e. the
+// transient toward the given regime is over. It returns to if the regime
+// is never reached.
+func stableToward(tl metrics.Timeline, from, to sim.Time, level float64) sim.Time {
+	slack := stabilityTol*level + 5
+	bin := tl.Bin
+	for at := from; at+time.Duration(stabilityWindow)*bin <= to; at += bin {
+		ok := true
+		for w := 0; w < stabilityWindow; w++ {
+			v := tl.MeanThroughput(at+time.Duration(w)*bin, at+time.Duration(w+1)*bin)
+			if diff := v - level; diff > slack || diff < -slack {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return at
+		}
+	}
+	return to
+}
+
+// Extract measures the stage structure of one fault-injection run.
+func Extract(obs RunObservation) Measured {
+	tl := obs.Timeline
+	m := Measured{Splintered: obs.Splintered, Tn: obs.Tn}
+
+	// The regime the run converges to (normal, or splinter-degraded).
+	tailLevel := tl.MeanThroughput(obs.End-30*time.Second, obs.End)
+
+	if obs.Instantaneous {
+		// Point fault: the observable response is one degraded window
+		// from the fault to re-stabilisation. The model stretches it
+		// into stage C for the fault's MTTR (the production restart
+		// time), so T_C is the window's mean level.
+		stable := stableToward(tl, obs.Injected, obs.End, tailLevel)
+		m.TC = tl.MeanThroughput(obs.Injected, stable)
+		if stable <= obs.Injected {
+			m.TC = tailLevel
+		}
+		m.TB = m.TC
+		m.TD = m.TC
+		m.TE = tailLevel
+		return m
+	}
+
+	detect := obs.Repaired
+	if obs.HasDetect && obs.Detected < obs.Repaired {
+		detect = obs.Detected
+	}
+	// Stage A: fault occurrence to detection.
+	m.DA = detect - obs.Injected
+	m.TA = tl.MeanThroughput(obs.Injected, detect)
+	if detect == obs.Injected {
+		m.TA = 0
+	}
+
+	// Stage B: reconfiguration transient toward the degraded regime
+	// (only when there was a detection before repair).
+	stable1 := detect
+	if obs.HasDetect && obs.Detected < obs.Repaired {
+		cLevel := tl.MeanThroughput(obs.Repaired-15*time.Second, obs.Repaired)
+		stable1 = stableToward(tl, detect, obs.Repaired, cLevel)
+		m.DB = stable1 - detect
+		m.TB = tl.MeanThroughput(detect, stable1)
+	}
+
+	// Stage C: stable degraded regime until repair. Without a
+	// detection there is no reconfiguration: the regime that persists
+	// through the repair time is stage A's.
+	switch {
+	case stable1 < obs.Repaired:
+		m.TC = tl.MeanThroughput(stable1, obs.Repaired)
+	case obs.HasDetect:
+		m.TC = m.TB
+	default:
+		m.TC = m.TA
+	}
+
+	// Stage D: transient from repair toward the final regime.
+	stable2 := stableToward(tl, obs.Repaired, obs.End, tailLevel)
+	m.DD = stable2 - obs.Repaired
+	m.TD = tl.MeanThroughput(obs.Repaired, stable2)
+
+	// Stage E: stable post-recovery regime.
+	m.TE = tl.MeanThroughput(stable2, obs.End)
+	if stable2 >= obs.End {
+		m.TE = m.TD
+	}
+	return m
+}
+
+// Environment supplies the durations phase 2 cannot measure: how long a
+// component stays broken (the fault load's MTTR), how long an operator
+// takes to notice a splintered service and reset it, and how long the
+// reset takes.
+type Environment struct {
+	// OperatorResponse is the time a splintered service runs degraded
+	// before an operator resets it (stage E duration when the service
+	// cannot re-merge on its own).
+	OperatorResponse time.Duration
+	// ResetDuration is the downtime of the reset itself (stage F).
+	ResetDuration time.Duration
+}
+
+// DefaultEnvironment matches the assumptions recorded in EXPERIMENTS.md.
+func DefaultEnvironment() Environment {
+	return Environment{
+		OperatorResponse: 10 * time.Minute,
+		ResetDuration:    30 * time.Second,
+	}
+}
+
+// StageParams assembles the full 7-stage model for one fault class by
+// combining the phase-1 measurement with the environmental durations and
+// the fault's MTTR:
+//
+//   - D_A is the measured detection time, capped at the MTTR (a fault the
+//     service never detects occupies stage A for the whole repair time);
+//   - D_B and D_D are the measured transients;
+//   - D_C fills the remainder of the MTTR;
+//   - stages E..G exist only when the run ended splintered: the service
+//     stays degraded for the operator response time, then a reset (zero
+//     throughput) and a warm-up transient (modelled like stage D) bring
+//     it back.
+func (m Measured) StageParams(rates Rates, env Environment) StageParams {
+	var sp StageParams
+	mttr := rates.MTTR
+
+	da := m.DA
+	if da > mttr {
+		da = mttr
+	}
+	sp.D[StageA] = da
+	sp.T[StageA] = m.TA
+
+	db := m.DB
+	if da+db > mttr {
+		db = mttr - da
+	}
+	sp.D[StageB] = db
+	sp.T[StageB] = m.TB
+
+	sp.D[StageC] = mttr - da - db
+	sp.T[StageC] = m.TC
+
+	sp.D[StageD] = m.DD
+	sp.T[StageD] = m.TD
+
+	if m.Splintered {
+		sp.D[StageE] = env.OperatorResponse
+		sp.T[StageE] = m.TE
+		sp.D[StageF] = env.ResetDuration
+		sp.T[StageF] = 0
+		sp.D[StageG] = m.DD
+		sp.T[StageG] = m.TD
+	}
+	return sp
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"vivo/internal/metrics"
+	"vivo/internal/sim"
+)
+
+// makeTimeline builds a synthetic 1 s-binned timeline from a rate function.
+func makeTimeline(seconds int, rate func(s int) int) metrics.Timeline {
+	k := sim.New(1)
+	rec := metrics.NewRecorder(k, time.Second)
+	for s := 0; s < seconds; s++ {
+		n := rate(s)
+		for i := 0; i < n; i++ {
+			at := time.Duration(s)*time.Second + time.Duration(i)*time.Microsecond
+			k.At(at, func() { rec.Record(metrics.Served) })
+		}
+	}
+	k.RunAll()
+	return rec.Timeline()
+}
+
+func TestExtractFastDetectionRun(t *testing.T) {
+	// 1000 req/s normal; fault at 30 s; detection at 45 s (zero during
+	// A); reconfiguration transient to 60 s; stable degraded 750 until
+	// repair at 120 s; recovery transient to 130 s; normal after.
+	tl := makeTimeline(200, func(s int) int {
+		switch {
+		case s < 30:
+			return 1000
+		case s < 45:
+			return 0
+		case s < 50:
+			return 400 + (s-45)*60 // steep ramp 400 -> 700
+		case s < 60:
+			return 750
+		case s < 120:
+			return 750
+		case s < 130:
+			return 850
+		default:
+			return 1000
+		}
+	})
+	obs := RunObservation{
+		Timeline:  tl,
+		Injected:  30 * time.Second,
+		Repaired:  120 * time.Second,
+		Detected:  45 * time.Second,
+		HasDetect: true,
+		Tn:        1000,
+		End:       200 * time.Second,
+	}
+	m := Extract(obs)
+	if m.DA != 15*time.Second {
+		t.Fatalf("DA = %v, want 15s", m.DA)
+	}
+	if m.TA > 50 {
+		t.Fatalf("TA = %v, want ~0", m.TA)
+	}
+	if m.DB < 3*time.Second || m.DB > 10*time.Second {
+		t.Fatalf("DB = %v, want about the 5s ramp", m.DB)
+	}
+	if m.TC < 700 || m.TC > 800 {
+		t.Fatalf("TC = %v, want 750", m.TC)
+	}
+	if m.TE < 950 {
+		t.Fatalf("TE = %v, want ~1000", m.TE)
+	}
+}
+
+func TestExtractNoDetectionRun(t *testing.T) {
+	// TCP-PRESS style: zero throughput from injection to repair, then a
+	// quick transient back to normal.
+	tl := makeTimeline(200, func(s int) int {
+		switch {
+		case s < 30:
+			return 1000
+		case s < 90:
+			return 0
+		case s < 100:
+			return 500
+		default:
+			return 1000
+		}
+	})
+	obs := RunObservation{
+		Timeline: tl,
+		Injected: 30 * time.Second,
+		Repaired: 90 * time.Second,
+		Tn:       1000,
+		End:      200 * time.Second,
+	}
+	m := Extract(obs)
+	if m.DA != 60*time.Second {
+		t.Fatalf("DA = %v, want the whole fault duration", m.DA)
+	}
+	if m.TA > 10 {
+		t.Fatalf("TA = %v, want 0", m.TA)
+	}
+	if m.DB != 0 {
+		t.Fatalf("DB = %v, want 0 (no reconfiguration)", m.DB)
+	}
+	if m.TE < 950 {
+		t.Fatalf("TE = %v", m.TE)
+	}
+}
+
+func TestStageParamsFillsMTTR(t *testing.T) {
+	m := Measured{
+		TA: 0, TB: 500, TC: 750, TD: 850, TE: 1000,
+		DA: 15 * time.Second, DB: 15 * time.Second, DD: 10 * time.Second,
+		Tn: 1000,
+	}
+	rates := Rates{MTTF: 14 * Day, MTTR: 3 * time.Minute}
+	sp := m.StageParams(rates, DefaultEnvironment())
+	if sp.D[StageA] != 15*time.Second || sp.D[StageB] != 15*time.Second {
+		t.Fatalf("A/B durations: %v/%v", sp.D[StageA], sp.D[StageB])
+	}
+	if sp.D[StageC] != 3*time.Minute-30*time.Second {
+		t.Fatalf("DC = %v, want MTTR minus A and B", sp.D[StageC])
+	}
+	if sp.D[StageE] != 0 || sp.D[StageF] != 0 || sp.D[StageG] != 0 {
+		t.Fatal("non-splintered run must not include operator stages")
+	}
+	total := sp.D[StageA] + sp.D[StageB] + sp.D[StageC]
+	if total != rates.MTTR {
+		t.Fatalf("A+B+C = %v, want MTTR", total)
+	}
+}
+
+func TestStageParamsDetectionLongerThanMTTR(t *testing.T) {
+	// A fault the service detects slower than the component repairs:
+	// stage A is capped at the MTTR and B/C vanish.
+	m := Measured{TA: 0, DA: 10 * time.Minute, Tn: 1000}
+	sp := m.StageParams(Rates{MTTR: 3 * time.Minute}, DefaultEnvironment())
+	if sp.D[StageA] != 3*time.Minute {
+		t.Fatalf("DA = %v, want capped at MTTR", sp.D[StageA])
+	}
+	if sp.D[StageB] != 0 || sp.D[StageC] != 0 {
+		t.Fatal("B/C must be empty when A fills the MTTR")
+	}
+}
+
+func TestStageParamsSplinteredAddsOperatorStages(t *testing.T) {
+	m := Measured{
+		TA: 0, TB: 600, TC: 800, TD: 900, TE: 900,
+		DA: 15 * time.Second, DD: 10 * time.Second,
+		Splintered: true,
+		Tn:         1000,
+	}
+	env := DefaultEnvironment()
+	sp := m.StageParams(Rates{MTTR: 3 * time.Minute}, env)
+	if sp.D[StageE] != env.OperatorResponse {
+		t.Fatalf("DE = %v, want operator response", sp.D[StageE])
+	}
+	if sp.T[StageE] != 900 {
+		t.Fatalf("TE = %v", sp.T[StageE])
+	}
+	if sp.D[StageF] != env.ResetDuration || sp.T[StageF] != 0 {
+		t.Fatalf("F = %v@%v", sp.D[StageF], sp.T[StageF])
+	}
+	if sp.D[StageG] != m.DD {
+		t.Fatalf("DG = %v, want warm-up proxy %v", sp.D[StageG], m.DD)
+	}
+}
+
+func TestExtractInstantaneousFault(t *testing.T) {
+	// App crash: detection effectively at injection, quick restart.
+	tl := makeTimeline(100, func(s int) int {
+		switch {
+		case s < 30:
+			return 1000
+		case s < 36:
+			return 750
+		default:
+			return 1000
+		}
+	})
+	// The harness marks "repair" at the process restart (t=36 s).
+	obs := RunObservation{
+		Timeline:  tl,
+		Injected:  30 * time.Second,
+		Repaired:  36 * time.Second,
+		Detected:  30 * time.Second,
+		HasDetect: true,
+		Tn:        1000,
+		End:       100 * time.Second,
+	}
+	m := Extract(obs)
+	if m.DA != 0 {
+		t.Fatalf("DA = %v", m.DA)
+	}
+	// The degraded restart window is stage C.
+	if m.TC < 700 || m.TC > 800 {
+		t.Fatalf("TC = %v, want the degraded 750 level", m.TC)
+	}
+	if m.TE < 950 {
+		t.Fatalf("TE = %v", m.TE)
+	}
+}
+
+func TestExtractUndetectedDegradedFaultKeepsLevel(t *testing.T) {
+	// A fault nobody detects that degrades (not kills) throughput — the
+	// VIA app-hang shape: the level must carry into stage C, because
+	// phase 2 stretches C to the MTTR.
+	tl := makeTimeline(200, func(s int) int {
+		switch {
+		case s < 30:
+			return 1000
+		case s < 90:
+			return 600
+		default:
+			return 1000
+		}
+	})
+	obs := RunObservation{
+		Timeline: tl,
+		Injected: 30 * time.Second,
+		Repaired: 90 * time.Second,
+		Tn:       1000,
+		End:      200 * time.Second,
+	}
+	m := Extract(obs)
+	if m.TA < 550 || m.TA > 650 {
+		t.Fatalf("TA = %v, want the 600 level", m.TA)
+	}
+	if m.TC != m.TA {
+		t.Fatalf("TC = %v, want stage A's level %v for an undetected fault", m.TC, m.TA)
+	}
+}

@@ -1,0 +1,276 @@
+// Package core implements the paper's primary contribution: the two-phase
+// performability evaluation methodology. Phase 1 produces per-fault
+// throughput timelines (driven by the press/faults/workload packages);
+// this package turns those timelines into 7-stage piece-wise-linear models
+// (Figure 1), combines them with per-component fault loads (Table 3) into
+// average throughput and availability, and computes the performability
+// metric P = Tn · log(A_I)/log(AA).
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Stage identifies one of the seven stages of Figure 1.
+type Stage int
+
+const (
+	// StageA: degraded service from fault occurrence until detection.
+	StageA Stage = iota
+	// StageB: transient while the system reconfigures.
+	StageB
+	// StageC: stable degraded regime until the component is repaired.
+	StageC
+	// StageD: transient after the component recovers.
+	StageD
+	// StageE: stable regime after recovery (may remain degraded if the
+	// service cannot fully recover on its own, e.g. a splintered
+	// cluster).
+	StageE
+	// StageF: operator reset of the server.
+	StageF
+	// StageG: transient immediately after reset.
+	StageG
+
+	// NumStages is the stage count.
+	NumStages
+)
+
+// String returns the stage letter.
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+	return string(rune('A' + int(s)))
+}
+
+// StageParams holds the two per-stage parameters of the model: duration
+// and average throughput during the stage. Missing stages have zero
+// duration.
+type StageParams struct {
+	D [NumStages]time.Duration
+	T [NumStages]float64
+}
+
+// TotalDuration sums the stage durations (the outage-affected period per
+// fault occurrence).
+func (sp StageParams) TotalDuration() time.Duration {
+	var sum time.Duration
+	for _, d := range sp.D {
+		sum += d
+	}
+	return sum
+}
+
+// LostWork returns the integral of (Tn - T_s) over the stages, in
+// request-seconds lost per fault occurrence.
+func (sp StageParams) LostWork(tn float64) float64 {
+	lost := 0.0
+	for s := StageA; s < NumStages; s++ {
+		lost += sp.D[s].Seconds() * (tn - sp.T[s])
+	}
+	return lost
+}
+
+// Rates is one fault load row: mean time to failure and to repair.
+type Rates struct {
+	MTTF time.Duration
+	MTTR time.Duration
+}
+
+// ExtraFault is an additional fault source used by the sensitivity
+// scenarios of §6.3 (packet drops, extra software bugs, system crashes).
+type ExtraFault struct {
+	Name   string
+	Rates  Rates
+	Stages StageParams
+	Count  int // component multiplicity
+}
+
+// Model combines a server's measured per-fault behaviour with a fault
+// load.
+type Model struct {
+	// Tn is the throughput under normal operation.
+	Tn float64
+	// Nodes is the cluster size, for component multiplicity.
+	Nodes int
+	// Behavior maps each fault class to its 7-stage parameters.
+	Behavior map[FaultClass]StageParams
+	// Load gives MTTF/MTTR per fault class.
+	Load FaultLoad
+	// Extra adds scenario-specific fault sources.
+	Extra []ExtraFault
+}
+
+// Result is the model's output.
+type Result struct {
+	AT             float64 // average throughput
+	AA             float64 // average availability = AT/Tn
+	Unavailability float64 // 1 - AA
+	// Contribution is each fault source's share of unavailability,
+	// keyed by fault class name (plus extra-fault names).
+	Contribution map[string]float64
+}
+
+// Evaluate computes average throughput and availability per §2.2:
+//
+//	AT = (1 - Σc Wc)·Tn + Σc Σs (D_c^s / MTTF_c)·T_c^s
+//	AA = AT / Tn
+//
+// with Wc = (Σs D_c^s)/MTTF_c, assuming uncorrelated faults with
+// exponentially distributed arrivals, one in effect at a time.
+func (m Model) Evaluate() Result {
+	res := Result{Contribution: make(map[string]float64)}
+	if m.Tn <= 0 {
+		return res
+	}
+	type source struct {
+		name   string
+		rates  Rates
+		stages StageParams
+		count  int
+	}
+	var sources []source
+	for _, c := range Classes {
+		sp, ok := m.Behavior[c]
+		if !ok {
+			continue
+		}
+		r, ok := m.Load[c]
+		if !ok || r.MTTF <= 0 {
+			continue
+		}
+		sources = append(sources, source{c.String(), r, sp, ComponentCount(c, m.Nodes)})
+	}
+	for _, e := range m.Extra {
+		if e.Rates.MTTF <= 0 {
+			continue
+		}
+		cnt := e.Count
+		if cnt == 0 {
+			cnt = 1
+		}
+		sources = append(sources, source{e.Name, e.Rates, e.Stages, cnt})
+	}
+
+	sumW := 0.0
+	degradedWork := 0.0 // Σc Σs (D/MTTF)·T, per unit time
+	for _, src := range sources {
+		mttf := src.rates.MTTF.Seconds()
+		w := src.stages.TotalDuration().Seconds() / mttf * float64(src.count)
+		sumW += w
+		work := 0.0
+		for s := StageA; s < NumStages; s++ {
+			work += src.stages.D[s].Seconds() / mttf * src.stages.T[s]
+		}
+		work *= float64(src.count)
+		degradedWork += work
+		// Unavailability contribution: fraction of time-weighted
+		// capacity lost to this source.
+		res.Contribution[src.name] = (w*m.Tn - work) / m.Tn
+	}
+	res.AT = (1-sumW)*m.Tn + degradedWork
+	res.AA = res.AT / m.Tn
+	res.Unavailability = 1 - res.AA
+	return res
+}
+
+// IdealAvailability is the paper's A_I reference (five nines).
+const IdealAvailability = 0.99999
+
+// Performability computes P = Tn · log(A_I)/log(AA). It scales linearly
+// with throughput and inversely with unavailability (log(1-u) ≈ -u for
+// small u).
+func Performability(tn, aa, ideal float64) float64 {
+	if aa >= 1 {
+		return math.Inf(1)
+	}
+	if aa <= 0 {
+		return 0
+	}
+	return tn * math.Log(ideal) / math.Log(aa)
+}
+
+// Performability evaluates the model and returns its performability
+// against the ideal availability.
+func (m Model) Performability() float64 {
+	return Performability(m.Tn, m.Evaluate().AA, IdealAvailability)
+}
+
+// ScaleRates returns a copy of the model with the MTTFs of the given
+// classes divided by k (fault rates multiplied by k). Used by the
+// crossover analysis of §6.3/§9.
+func (m Model) ScaleRates(classes []FaultClass, k float64) Model {
+	out := m
+	out.Load = make(FaultLoad, len(m.Load))
+	for c, r := range m.Load {
+		out.Load[c] = r
+	}
+	for _, c := range classes {
+		if r, ok := out.Load[c]; ok {
+			r.MTTF = time.Duration(float64(r.MTTF) / k)
+			out.Load[c] = r
+		}
+	}
+	return out
+}
+
+// CrossoverScale finds the factor k >= 1 by which the fault rates of the
+// given classes in `penalized` must grow for its performability to drop to
+// that of `reference`. It returns the factor and whether a crossover
+// exists within [1, maxK].
+func CrossoverScale(reference, penalized Model, classes []FaultClass, maxK float64) (float64, bool) {
+	target := reference.Performability()
+	at := func(k float64) float64 {
+		return penalized.ScaleRates(classes, k).Performability()
+	}
+	if at(1) <= target {
+		return 1, true // already at or below the reference
+	}
+	lo, hi := 1.0, maxK
+	if at(hi) > target {
+		return hi, false
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if at(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, true
+}
+
+// RequiredAppMTTF answers the planning question behind the paper's closing
+// observation (availability stays under 99.9 % even at one application
+// fault per month): how rare would application faults have to be for the
+// modeled availability to reach the target? The model's application-fault
+// rows are re-derived from candidate MTTFs via the Table 3 split. It
+// returns the smallest such MTTF and true, or the bound and false if even
+// maxMTTF cannot reach the target (some other fault class dominates).
+func (m Model) RequiredAppMTTF(targetAA float64, maxMTTF time.Duration) (time.Duration, bool) {
+	aaAt := func(mttf time.Duration) float64 {
+		trial := m
+		trial.Load = m.Load.WithAppMTTF(mttf)
+		return trial.Evaluate().AA
+	}
+	if aaAt(maxMTTF) < targetAA {
+		return maxMTTF, false
+	}
+	lo, hi := time.Duration(time.Minute), maxMTTF
+	if aaAt(lo) >= targetAA {
+		return lo, true
+	}
+	for i := 0; i < 60; i++ {
+		mid := lo + (hi-lo)/2
+		if aaAt(mid) >= targetAA {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}

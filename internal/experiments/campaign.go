@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	"vivo/internal/core"
+	"vivo/internal/faults"
+	"vivo/internal/press"
+	"vivo/internal/sim"
+)
+
+// faultClassOf maps an injectable fault to its fault-load row.
+var faultClassOf = map[faults.Type]core.FaultClass{
+	faults.LinkDown:      core.LinkDown,
+	faults.SwitchDown:    core.SwitchDown,
+	faults.NodeCrash:     core.NodeCrash,
+	faults.NodeHang:      core.NodeFreeze,
+	faults.KernelMemory:  core.MemAlloc,
+	faults.MemoryPinning: core.MemPin,
+	faults.AppCrash:      core.ProcCrash,
+	faults.AppHang:       core.ProcHang,
+	faults.BadPtrNull:    core.BadNull,
+	faults.BadPtrOffset:  core.BadOffPtr,
+	faults.BadSizeOffset: core.BadOffSize,
+}
+
+// Campaign is the full phase-1 measurement matrix: every PRESS version
+// under every fault, plus each version's normal-operation throughput. It
+// is the input to every phase-2 figure.
+type Campaign struct {
+	Opt  Options
+	Tn   map[press.Version]float64
+	Meas map[press.Version]map[core.FaultClass]core.Measured
+}
+
+var (
+	campaignMu    sync.Mutex
+	campaignCache = map[Options]*Campaign{}
+)
+
+// RunCampaign measures (or returns the memoized) campaign for the options.
+func RunCampaign(opt Options) *Campaign {
+	campaignMu.Lock()
+	defer campaignMu.Unlock()
+	if c, ok := campaignCache[opt]; ok {
+		return c
+	}
+	c := &Campaign{
+		Opt:  opt,
+		Tn:   make(map[press.Version]float64),
+		Meas: make(map[press.Version]map[core.FaultClass]core.Measured),
+	}
+	for _, v := range press.Versions {
+		c.Tn[v] = measureTn(v, opt)
+		byClass := make(map[core.FaultClass]core.Measured)
+		for _, ft := range faults.AllTypes {
+			run := RunFault(v, ft, opt)
+			byClass[faultClassOf[ft]] = run.Measured
+		}
+		c.Meas[v] = byClass
+	}
+	campaignCache[opt] = c
+	return c
+}
+
+func measureTn(v press.Version, opt Options) float64 {
+	if !opt.MeasureTn {
+		return press.Table1Throughput(v)
+	}
+	k := sim.New(opt.Seed*100 + int64(v))
+	return press.MeasureThroughput(k, opt.Config(v),
+		1.3*press.Table1Throughput(v), 10*time.Second, 30*time.Second)
+}
+
+// Model assembles the phase-2 model for one version under the given fault
+// load. Stage throughputs measured at the fault-run load are rescaled to
+// the version's capacity (the fractions, not the absolute levels, are what
+// phase 1 measures).
+func (c *Campaign) Model(v press.Version, load core.FaultLoad) core.Model {
+	tn := c.Tn[v]
+	behavior := make(map[core.FaultClass]core.StageParams, len(c.Meas[v]))
+	for class, meas := range c.Meas[v] {
+		rates, ok := load[class]
+		if !ok {
+			continue
+		}
+		sp := meas.StageParams(rates, c.Opt.Env)
+		if meas.Tn > 0 {
+			scale := tn / meas.Tn
+			for s := core.StageA; s < core.NumStages; s++ {
+				sp.T[s] *= scale
+				if sp.T[s] > tn {
+					sp.T[s] = tn
+				}
+			}
+		}
+		behavior[class] = sp
+	}
+	return core.Model{
+		Tn:       tn,
+		Nodes:    4,
+		Behavior: behavior,
+		Load:     load,
+	}
+}
+
+// stageFor returns the (capacity-rescaled) stage parameters this version
+// exhibited for the given class under the given rates — used to model the
+// sensitivity scenarios' extra faults ("packet drops behave like process
+// crashes", "system bugs behave like switch crashes").
+func (c *Campaign) stageFor(v press.Version, class core.FaultClass, rates core.Rates) core.StageParams {
+	meas := c.Meas[v][class]
+	sp := meas.StageParams(rates, c.Opt.Env)
+	tn := c.Tn[v]
+	if meas.Tn > 0 {
+		scale := tn / meas.Tn
+		for s := core.StageA; s < core.NumStages; s++ {
+			sp.T[s] *= scale
+			if sp.T[s] > tn {
+				sp.T[s] = tn
+			}
+		}
+	}
+	return sp
+}

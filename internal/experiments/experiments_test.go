@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vivo/internal/core"
+	"vivo/internal/faults"
+	"vivo/internal/press"
+)
+
+func TestFaultClassMapCoversAllFaults(t *testing.T) {
+	for _, ft := range faults.AllTypes {
+		if _, ok := faultClassOf[ft]; !ok {
+			t.Errorf("fault %v has no fault-load class", ft)
+		}
+	}
+	seen := map[core.FaultClass]bool{}
+	for _, c := range faultClassOf {
+		if seen[c] {
+			t.Errorf("class %v mapped twice", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestRunFaultLinkDownTCPPress(t *testing.T) {
+	fr := RunFault(press.TCPPress, faults.LinkDown, Quick())
+	m := fr.Measured
+	if fr.Obs.HasDetect {
+		t.Fatal("TCP-PRESS must not detect a transient link fault")
+	}
+	if m.DA != Quick().FaultDuration {
+		t.Fatalf("stage A = %v, want the whole fault duration", m.DA)
+	}
+	if m.TA > 0.2*m.Tn {
+		t.Fatalf("TA = %.0f with Tn %.0f, want a stall", m.TA, m.Tn)
+	}
+	if m.TE < 0.9*m.Tn {
+		t.Fatalf("TE = %.0f, want full recovery", m.TE)
+	}
+	if m.Splintered {
+		t.Fatal("TCP-PRESS must not splinter on a transient link fault")
+	}
+}
+
+func TestRunFaultLinkDownVIA(t *testing.T) {
+	fr := RunFault(press.VIAPress5, faults.LinkDown, Quick())
+	m := fr.Measured
+	if !fr.Obs.HasDetect {
+		t.Fatal("VIA must detect the link fault via connection break")
+	}
+	if m.DA > 3*time.Second {
+		t.Fatalf("VIA detection took %v, want about a second", m.DA)
+	}
+	if !m.Splintered {
+		t.Fatal("VIA versions splinter and do not re-merge")
+	}
+}
+
+func TestRunFaultAppCrashDegradedLevel(t *testing.T) {
+	fr := RunFault(press.VIAPress0, faults.AppCrash, Quick())
+	m := fr.Measured
+	if !fr.Obs.Instantaneous {
+		t.Fatal("app crash must be marked instantaneous")
+	}
+	// One node of four out: degraded window near 75% of normal.
+	if m.TC < 0.55*m.Tn || m.TC > 0.92*m.Tn {
+		t.Fatalf("TC = %.0f of Tn %.0f, want roughly three-quarters", m.TC, m.Tn)
+	}
+	if m.TE < 0.9*m.Tn {
+		t.Fatalf("TE = %.0f, want recovery after restart", m.TE)
+	}
+}
+
+func TestRunFaultKernelMemoryVIAImmune(t *testing.T) {
+	fr := RunFault(press.VIAPress3, faults.KernelMemory, Quick())
+	m := fr.Measured
+	if m.TA < 0.9*m.Tn {
+		t.Fatalf("VIA throughput during kernel memory fault = %.0f of %.0f, want unaffected",
+			m.TA, m.Tn)
+	}
+	if m.Splintered {
+		t.Fatal("VIA must not splinter under kernel memory exhaustion")
+	}
+}
+
+// fakeCampaign builds a campaign with hand-written measurements so figure
+// logic can be tested without minutes of simulation.
+func fakeCampaign() *Campaign {
+	opt := Quick()
+	c := &Campaign{
+		Opt:  opt,
+		Tn:   make(map[press.Version]float64),
+		Meas: make(map[press.Version]map[core.FaultClass]core.Measured),
+	}
+	for _, v := range press.Versions {
+		tn := press.Table1Throughput(v)
+		c.Tn[v] = tn
+		byClass := make(map[core.FaultClass]core.Measured)
+		for _, class := range core.Classes {
+			// Generic behaviour: short detection, degraded to 75%,
+			// full recovery. TCP versions detect link faults slowly.
+			m := core.Measured{
+				TA: 0, TB: 0.5 * tn, TC: 0.75 * tn, TD: 0.9 * tn, TE: tn,
+				DA: 15 * time.Second, DB: 10 * time.Second, DD: 10 * time.Second,
+				Tn: tn,
+			}
+			if class == core.LinkDown && !v.UsesVIA() {
+				m.DA = 90 * time.Second
+				m.TA = 0
+			}
+			byClass[class] = m
+		}
+		c.Meas[v] = byClass
+	}
+	return c
+}
+
+func TestModelScalesStageThroughputToCapacity(t *testing.T) {
+	c := fakeCampaign()
+	// Pretend the fault runs were measured at half capacity.
+	for v, by := range c.Meas {
+		for class, m := range by {
+			m.Tn /= 2
+			m.TB /= 2
+			m.TC /= 2
+			m.TD /= 2
+			m.TE /= 2
+			by[class] = m
+		}
+		_ = v
+	}
+	m := c.Model(press.VIAPress5, core.DefaultFaultLoad(core.Day))
+	sp := m.Behavior[core.ProcCrash]
+	tn := c.Tn[press.VIAPress5]
+	if sp.T[core.StageC] < 0.7*tn || sp.T[core.StageC] > 0.8*tn {
+		t.Fatalf("stage C throughput = %.0f, want rescaled to ~75%% of %f", sp.T[core.StageC], tn)
+	}
+}
+
+func TestFigure6ShapeAndOrdering(t *testing.T) {
+	c := fakeCampaign()
+	rows := Figure6(c)
+	if len(rows) != len(press.Versions)*2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	perf := map[press.Version]float64{}
+	for _, r := range rows {
+		if r.AppMTTF == core.Day {
+			perf[r.Version] = r.Performability
+			if r.Unavailability <= 0 || r.Unavailability > 0.05 {
+				t.Fatalf("%v unavailability = %v, want the paper's ~99%% band", r.Version, r.Unavailability)
+			}
+		}
+	}
+	// With identical fault behaviour, performability must follow raw
+	// performance (the paper's Figure 6b conclusion).
+	if !(perf[press.VIAPress5] > perf[press.VIAPress3] &&
+		perf[press.VIAPress3] > perf[press.VIAPress0] &&
+		perf[press.VIAPress0] > perf[press.TCPPress]) {
+		t.Fatalf("performability ordering broken: %v", perf)
+	}
+	// Lower app fault rate must improve availability.
+	for _, v := range press.Versions {
+		var day, month float64
+		for _, r := range rows {
+			if r.Version == v {
+				if r.AppMTTF == core.Day {
+					day = r.Unavailability
+				} else {
+					month = r.Unavailability
+				}
+			}
+		}
+		if month >= day {
+			t.Fatalf("%v: unavailability did not improve with rarer app faults (%v vs %v)", v, day, month)
+		}
+	}
+}
+
+func TestFigure7PenalizesOnlyVIA(t *testing.T) {
+	c := fakeCampaign()
+	rows := Figure7(c)
+	if len(rows) != 3*len(press.Versions) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// TCP rows identical across drop rates; VIA rows improve as drops
+	// get rarer.
+	byVersion := map[press.Version][]float64{}
+	for _, r := range rows {
+		byVersion[r.Version] = append(byVersion[r.Version], r.Performability)
+	}
+	tcp := byVersion[press.TCPPress]
+	if tcp[0] != tcp[1] || tcp[1] != tcp[2] {
+		t.Fatalf("TCP affected by packet drops: %v", tcp)
+	}
+	via := byVersion[press.VIAPress5]
+	if !(via[0] < via[1] && via[1] < via[2]) {
+		t.Fatalf("VIA performability not monotone in drop rate: %v", via)
+	}
+}
+
+func TestFigure8ScalesVIAAppFaults(t *testing.T) {
+	c := fakeCampaign()
+	rows := Figure8(c)
+	byVersion := map[press.Version][]float64{}
+	for _, r := range rows {
+		byVersion[r.Version] = append(byVersion[r.Version], r.Performability)
+	}
+	via := byVersion[press.VIAPress0]
+	if !(via[0] < via[2]) {
+		t.Fatalf("VIA-0 performability should improve from 1/day to 1/month: %v", via)
+	}
+	tcp := byVersion[press.TCPPressHB]
+	if tcp[0] != tcp[2] {
+		t.Fatalf("TCP should stay at 1/month throughout: %v", tcp)
+	}
+}
+
+func TestFigure9And10Shape(t *testing.T) {
+	c := fakeCampaign()
+	if rows := Figure9(c); len(rows) != 3*len(press.Versions) {
+		t.Fatalf("fig9 rows = %d", len(rows))
+	}
+	rows := Figure10(c)
+	if len(rows) != len(press.Versions) {
+		t.Fatalf("fig10 rows = %d", len(rows))
+	}
+	// The combined pessimistic load must cost the VIA versions more
+	// than the base load does.
+	base := Figure6(c)
+	var basePerf, pessPerf float64
+	for _, r := range base {
+		if r.Version == press.VIAPress5 && r.AppMTTF == core.Month {
+			basePerf = r.Performability
+		}
+	}
+	for _, r := range rows {
+		if r.Version == press.VIAPress5 {
+			pessPerf = r.Performability
+		}
+	}
+	if pessPerf >= basePerf {
+		t.Fatalf("pessimistic load did not hurt VIA: %v vs base %v", pessPerf, basePerf)
+	}
+}
+
+func TestCrossoverMatrix(t *testing.T) {
+	c := fakeCampaign()
+	rows := Crossover(c)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 2 TCP x 3 VIA", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Found {
+			t.Fatalf("no crossover for %v vs %v", r.VIA, r.TCP)
+		}
+		// With identical fault behaviour and higher VIA throughput,
+		// the factor must exceed 1.
+		if r.Factor <= 1 {
+			t.Fatalf("factor = %v for %v vs %v", r.Factor, r.VIA, r.TCP)
+		}
+	}
+}
+
+func TestRenderersProduceText(t *testing.T) {
+	c := fakeCampaign()
+	if s := RenderFigure6(Figure6(c)); !strings.Contains(s, "VIA-PRESS-5") {
+		t.Fatal("figure 6 render missing version")
+	}
+	if s := RenderCrossover(Crossover(c)); !strings.Contains(s, "k =") {
+		t.Fatal("crossover render missing factor")
+	}
+	if s := RenderScenario("t", Figure7(c)); !strings.Contains(s, "P=") {
+		t.Fatal("scenario render missing performability")
+	}
+}
+
+func TestOptionsScaling(t *testing.T) {
+	q, f := Quick(), Full()
+	if q.Config(press.TCPPress).WorkingSetFiles >= f.Config(press.TCPPress).WorkingSetFiles {
+		t.Fatal("quick scale should shrink the working set")
+	}
+	if q.offered(press.VIAPress5) >= f.offered(press.VIAPress5) {
+		t.Fatal("quick scale should lower the offered load")
+	}
+	if f.end() != f.Stabilize+f.FaultDuration+f.Observe {
+		t.Fatal("end arithmetic")
+	}
+}

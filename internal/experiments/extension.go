@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vivo/internal/core"
+	"vivo/internal/faults"
+	"vivo/internal/press"
+)
+
+// This file evaluates the repository's extension: ROBUST-PRESS, an
+// implementation of the communication layer §7 of the paper proposes
+// (message-based, single-copy, pre-allocated, fabric-matched fault model,
+// synchronous descriptor validation) combined with the §6.2 re-merging
+// membership protocol. The experiment answers the question the paper
+// leaves open: how much performability does the proposed design actually
+// buy?
+
+// ExtensionRow is one version's results under one of the extension
+// scenarios.
+type ExtensionRow struct {
+	Version        press.Version
+	Tn             float64
+	Availability   float64
+	Performability float64
+}
+
+// ExtensionResult compares all six versions under the same fault load and
+// under the §6.3 combined pessimistic load for user-level substrates.
+type ExtensionResult struct {
+	SameLoad    []ExtensionRow
+	Pessimistic []ExtensionRow
+}
+
+// RunExtension measures ROBUST-PRESS with the standard campaign protocol
+// and evaluates it alongside the paper's five versions.
+//
+// Under the pessimistic load the user-level versions (VIA and ROBUST) all
+// receive the extra application bugs and system crashes — ROBUST runs on
+// the same immature hardware — but packet drops are only fatal to the
+// plain VIA versions: the robust layer's bounded retransmission absorbs
+// transient drops exactly like TCP (that is the "match the fabric's fault
+// model" recommendation).
+func RunExtension(opt Options) ExtensionResult {
+	c := RunCampaign(opt)
+
+	// Phase 1 for the extension version.
+	robustTn := measureTn(press.RobustPress, opt)
+	robustMeas := make(map[core.FaultClass]core.Measured)
+	for _, ft := range faults.AllTypes {
+		run := RunFault(press.RobustPress, ft, opt)
+		robustMeas[faultClassOf[ft]] = run.Measured
+	}
+	ext := &Campaign{
+		Opt:  opt,
+		Tn:   map[press.Version]float64{press.RobustPress: robustTn},
+		Meas: map[press.Version]map[core.FaultClass]core.Measured{press.RobustPress: robustMeas},
+	}
+
+	model := func(v press.Version, load core.FaultLoad) core.Model {
+		if v == press.RobustPress {
+			return ext.Model(v, load)
+		}
+		return c.Model(v, load)
+	}
+	stage := func(v press.Version, class core.FaultClass, rates core.Rates) core.StageParams {
+		if v == press.RobustPress {
+			return ext.stageFor(v, class, rates)
+		}
+		return c.stageFor(v, class, rates)
+	}
+
+	var res ExtensionResult
+
+	// Scenario 1: identical fault load, application faults once per day.
+	same := core.DefaultFaultLoad(core.Day)
+	for _, v := range press.AllVersions {
+		m := model(v, same)
+		r := m.Evaluate()
+		res.SameLoad = append(res.SameLoad, ExtensionRow{
+			Version: v, Tn: m.Tn, Availability: r.AA, Performability: m.Performability(),
+		})
+	}
+
+	// Scenario 2: the Figure-10 pessimistic load for every user-level
+	// substrate.
+	for _, v := range press.AllVersions {
+		load := baseLoad()
+		m := model(v, load)
+		if v.UsesVIA() {
+			addRate := 1.0/core.Month.Hours() + 1.0/(2*core.Week).Hours()
+			appMTTF := time.Duration(float64(time.Hour) / addRate)
+			m = model(v, load.WithAppMTTF(appMTTF))
+			sysRates := core.Rates{MTTF: core.Month, MTTR: time.Hour}
+			m.Extra = append(m.Extra, core.ExtraFault{
+				Name:   "system-crash",
+				Rates:  sysRates,
+				Stages: stage(v, core.SwitchDown, sysRates),
+				Count:  1,
+			})
+			if !v.Robust() {
+				// Transient packet drops reset plain VIA channels;
+				// the robust layer retransmits through them.
+				dropRates := core.Rates{MTTF: core.Month, MTTR: 3 * time.Minute}
+				m.Extra = append(m.Extra, core.ExtraFault{
+					Name:   "packet-drop",
+					Rates:  dropRates,
+					Stages: stage(v, core.ProcCrash, dropRates),
+					Count:  4,
+				})
+			}
+		}
+		r := m.Evaluate()
+		res.Pessimistic = append(res.Pessimistic, ExtensionRow{
+			Version: v, Tn: m.Tn, Availability: r.AA, Performability: m.Performability(),
+		})
+	}
+	return res
+}
+
+// RenderExtension formats the comparison.
+func RenderExtension(res ExtensionResult) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Extension: the robust communication layer the paper proposes (§7) + re-merging membership (§6.2)")
+	section := func(title string, rows []ExtensionRow) {
+		fmt.Fprintf(&b, "\n %s\n", title)
+		fmt.Fprintf(&b, " %-14s %8s %13s %14s\n", "version", "Tn", "availability", "performability")
+		for _, r := range rows {
+			fmt.Fprintf(&b, " %-14s %8.0f %13.5f %14.0f\n", r.Version, r.Tn, r.Availability, r.Performability)
+		}
+	}
+	section("same fault load (app faults 1/day):", res.SameLoad)
+	section("pessimistic user-level-substrate load (fig 10 + drops spared for the robust layer):", res.Pessimistic)
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"vivo/internal/core"
+	"vivo/internal/faults"
+	"vivo/internal/metrics"
+	"vivo/internal/press"
+	"vivo/internal/sim"
+	"vivo/internal/workload"
+)
+
+// TargetNode is the node every single-node fault is injected into. Node 3
+// is never the lowest-id member, so the join protocol's lowest-id logic is
+// exercised by the survivors.
+const TargetNode = 3
+
+// FaultRun is the result of one phase-1 experiment.
+type FaultRun struct {
+	Version  press.Version
+	Fault    faults.Type
+	Timeline metrics.Timeline
+	Obs      core.RunObservation
+	Measured core.Measured
+	// OfferedLoad is the request rate the clients generated.
+	OfferedLoad float64
+}
+
+// RunFault performs one fault-injection experiment: warm cluster, steady
+// load, a single fault at TargetNode (or the switch), observation through
+// recovery, and stage extraction.
+func RunFault(v press.Version, ft faults.Type, opt Options) FaultRun {
+	seed := opt.Seed*1000 + int64(v)*100 + int64(ft)
+	k := sim.New(seed)
+	cfg := opt.Config(v)
+	rec := metrics.NewRecorder(k, time.Second)
+	d := press.NewDeployment(k, cfg)
+	d.Events = func(l string) { rec.MarkNow(l) }
+	d.Start()
+	d.WarmStart()
+
+	tr := workload.NewTrace(workload.TraceConfig{
+		Files:    cfg.WorkingSetFiles,
+		FileSize: int(cfg.FileSize),
+		ZipfS:    1.2,
+	}, rand.New(rand.NewSource(seed+7)))
+	offered := opt.offered(v)
+	cl := workload.NewClients(k, workload.DefaultClients(offered, cfg.Nodes), tr, d, rec)
+	cl.Start()
+
+	inj := faults.NewInjector(k, d, rec)
+	injectAt := opt.Stabilize
+	inj.Schedule(ft, TargetNode, injectAt, opt.FaultDuration)
+
+	end := opt.end()
+	k.Run(end)
+
+	tl := rec.Timeline()
+	obs := core.RunObservation{
+		Timeline:      tl,
+		Injected:      injectAt,
+		Tn:            tl.MeanThroughput(injectAt-20*time.Second, injectAt),
+		End:           end,
+		Instantaneous: ft.Instantaneous(),
+	}
+
+	// Repair time: the injector's mark for duration faults; for
+	// instantaneous faults the repair is the (last) process restart.
+	if at, ok := repairedTime(rec, ft, injectAt); ok {
+		obs.Repaired = at
+	} else {
+		obs.Repaired = injectAt + opt.FaultDuration
+	}
+
+	// Detection: the first service reaction after injection.
+	if at, ok := detectionTime(rec, injectAt); ok && at <= obs.Repaired {
+		obs.Detected = at
+		obs.HasDetect = true
+	}
+
+	// Splintered: any live server that does not see the full membership.
+	for i := 0; i < cfg.Nodes; i++ {
+		if s := d.Server(i); s != nil && s.Alive() && len(s.Members()) < cfg.Nodes {
+			obs.Splintered = true
+		}
+	}
+
+	return FaultRun{
+		Version:     v,
+		Fault:       ft,
+		Timeline:    tl,
+		Obs:         obs,
+		Measured:    core.Extract(obs),
+		OfferedLoad: offered,
+	}
+}
+
+// repairedTime locates the component-repair instant in the marks.
+func repairedTime(rec *metrics.Recorder, ft faults.Type, after sim.Time) (sim.Time, bool) {
+	if ft.Instantaneous() {
+		// Repair = the last process restart triggered by the fault.
+		var last sim.Time
+		found := false
+		for _, m := range rec.Marks() {
+			if m.At > after && strings.Contains(m.Label, "press started") {
+				last, found = m.At, true
+			}
+		}
+		return last, found
+	}
+	for _, m := range rec.Marks() {
+		if m.At > after && m.Label == faults.MarkRepaired {
+			return m.At, true
+		}
+	}
+	return 0, false
+}
+
+// detectionTime locates the first service reaction (reconfiguration,
+// heartbeat timeout, fail-fast) after injection.
+func detectionTime(rec *metrics.Recorder, after sim.Time) (sim.Time, bool) {
+	for _, m := range rec.Marks() {
+		if m.At < after {
+			continue
+		}
+		if strings.Contains(m.Label, "reconfigured") ||
+			strings.Contains(m.Label, "heartbeat timeout") ||
+			strings.Contains(m.Label, "fail-fast") {
+			return m.At, true
+		}
+	}
+	return 0, false
+}
+
+// String renders a one-line summary of the run.
+func (fr FaultRun) String() string {
+	m := fr.Measured
+	return fmt.Sprintf("%s under %s: Tn=%.0f A=%.0fs@%.0f C@%.0f E@%.0f splintered=%v",
+		fr.Version, fr.Fault, m.Tn, m.DA.Seconds(), m.TA, m.TC, m.TE, m.Splintered)
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vivo/internal/core"
+	"vivo/internal/press"
+	"vivo/internal/sim"
+)
+
+// Beyond the paper's two application-fault-rate points (1/day, 1/month),
+// these sweeps trace the full curves the model implies — useful both as a
+// richer view of Figure 6 and as a sanity check that the two published
+// points sit on smooth, monotone curves.
+
+// SweepPoint is one (rate, result) sample of the application-fault sweep.
+type SweepPoint struct {
+	AppMTTF        time.Duration
+	Unavailability float64
+	Performability float64
+}
+
+// AppRateSweep evaluates a version's model across application fault rates
+// from once per day to once per quarter.
+func AppRateSweep(c *Campaign, v press.Version) []SweepPoint {
+	mttfs := []time.Duration{
+		core.Day, 2 * core.Day, 4 * core.Day, core.Week,
+		2 * core.Week, core.Month, 2 * core.Month, 3 * core.Month,
+	}
+	out := make([]SweepPoint, 0, len(mttfs))
+	for _, mttf := range mttfs {
+		m := c.Model(v, core.DefaultFaultLoad(mttf))
+		res := m.Evaluate()
+		out = append(out, SweepPoint{
+			AppMTTF:        mttf,
+			Unavailability: res.Unavailability,
+			Performability: m.Performability(),
+		})
+	}
+	return out
+}
+
+// RenderAppRateSweep formats sweeps for all versions side by side.
+func RenderAppRateSweep(c *Campaign) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Unavailability vs application fault rate (rows: app MTTF; columns: versions)")
+	fmt.Fprintf(&b, "%10s", "app MTTF")
+	for _, v := range press.Versions {
+		fmt.Fprintf(&b, " %14s", v)
+	}
+	fmt.Fprintln(&b)
+	sweeps := make(map[press.Version][]SweepPoint)
+	for _, v := range press.Versions {
+		sweeps[v] = AppRateSweep(c, v)
+	}
+	n := len(sweeps[press.TCPPress])
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%9.0fd", sweeps[press.TCPPress][i].AppMTTF.Hours()/24)
+		for _, v := range press.Versions {
+			fmt.Fprintf(&b, " %14.5f", sweeps[v][i].Unavailability)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// BestVIAVersion is the default subject of the scaling study.
+const BestVIAVersion = press.VIAPress5
+
+// ScaleRow is one cluster-size sample of the scaling study.
+type ScaleRow struct {
+	Nodes        int
+	Throughput   float64
+	Availability float64
+}
+
+// ClusterScaling measures a version's no-fault throughput and its modeled
+// availability (Table 3 load, app faults 1/day) at different cluster
+// sizes. More nodes mean more capacity but also more components to fail —
+// the model quantifies both sides.
+//
+// Per-fault behaviour is approximated by the 4-node campaign measurement
+// with degraded-stage throughputs rescaled to (n-1)/n of the n-node
+// capacity; detection times are size-independent in PRESS.
+func ClusterScaling(c *Campaign, v press.Version, sizes []int, opt Options) []ScaleRow {
+	meas := c.Meas[v]
+	var out []ScaleRow
+	for _, n := range sizes {
+		cfg := opt.Config(v)
+		cfg.Nodes = n
+		// Keep per-node cache constant; grow the working set with the
+		// cluster so cooperation stays meaningful.
+		cfg.WorkingSetFiles = cfg.WorkingSetFiles * n / 4
+		k := sim.New(opt.Seed*1000 + int64(n))
+		tn := press.MeasureThroughput(k, cfg,
+			1.3*press.Table1Throughput(v)*float64(n)/4, 10*time.Second, 20*time.Second)
+
+		load := core.DefaultFaultLoad(core.Day)
+		behavior := make(map[core.FaultClass]core.StageParams, len(meas))
+		for class, m4 := range meas {
+			rates, ok := load[class]
+			if !ok {
+				continue
+			}
+			sp := m4.StageParams(rates, opt.Env)
+			// Rescale each stage's throughput fraction from the
+			// 4-node run to the n-node cluster: a one-node outage
+			// costs 1/n instead of 1/4.
+			for s := core.StageA; s < core.NumStages; s++ {
+				frac := 0.0
+				if m4.Tn > 0 {
+					frac = sp.T[s] / m4.Tn
+				}
+				frac = rescaleFraction(frac, n)
+				sp.T[s] = frac * tn
+			}
+			behavior[class] = sp
+		}
+		m := core.Model{Tn: tn, Nodes: n, Behavior: behavior, Load: load}
+		out = append(out, ScaleRow{Nodes: n, Throughput: tn, Availability: m.Evaluate().AA})
+	}
+	return out
+}
+
+// rescaleFraction maps a 4-node degraded fraction to an n-node one: the
+// lost share of a single-component outage shrinks from 1/4 to 1/n, while
+// total outages (fraction 0) and no-ops (fraction 1) stay put.
+func rescaleFraction(frac float64, n int) float64 {
+	if frac <= 0 || frac >= 1 {
+		return frac
+	}
+	lost4 := 1 - frac // share of capacity lost on 4 nodes
+	lostN := lost4 * 4 / float64(n)
+	if lostN > 1 {
+		lostN = 1
+	}
+	return 1 - lostN
+}
+
+// RenderClusterScaling formats the scaling study.
+func RenderClusterScaling(rows []ScaleRow, v press.Version) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cluster scaling for %s (Table 3 load, app faults 1/day)\n", v)
+	fmt.Fprintf(&b, "%6s %12s %13s\n", "nodes", "throughput", "availability")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %12.0f %13.5f\n", r.Nodes, r.Throughput, r.Availability)
+	}
+	return b.String()
+}

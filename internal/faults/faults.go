@@ -1,0 +1,218 @@
+// Package faults is the Mendosus-equivalent fault injector: it applies the
+// fault model of Table 2 — network hardware faults, node faults, operating
+// system resource exhaustion and application faults — to a live simulated
+// PRESS deployment, in real (virtual) time, and annotates the metrics
+// recorder with injection and repair marks used by stage extraction.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vivo/internal/comm"
+	"vivo/internal/metrics"
+	"vivo/internal/press"
+	"vivo/internal/sim"
+)
+
+// Type enumerates the injectable faults of Table 2.
+type Type int
+
+const (
+	// LinkDown fails the target node's link to the switch.
+	LinkDown Type = iota
+	// SwitchDown fails the cluster switch.
+	SwitchDown
+	// NodeCrash hard-reboots the target node.
+	NodeCrash
+	// NodeHang freezes the target node without losing state.
+	NodeHang
+	// KernelMemory makes kernel communication-buffer allocation fail on
+	// the target node for the fault duration.
+	KernelMemory
+	// MemoryPinning lowers the pinnable-memory threshold on the target
+	// node below current usage for the fault duration.
+	MemoryPinning
+	// AppCrash kills the PRESS process on the target node.
+	AppCrash
+	// AppHang SIGSTOPs the PRESS process for the fault duration.
+	AppHang
+	// BadPtrNull corrupts the next intra-cluster send call on the
+	// target node with a NULL data pointer.
+	BadPtrNull
+	// BadPtrOffset corrupts the next send with an off-by-N data pointer
+	// (N in 1..100).
+	BadPtrOffset
+	// BadSizeOffset corrupts the next send with an off-by-N size.
+	BadSizeOffset
+)
+
+// AllTypes lists every injectable fault.
+var AllTypes = []Type{
+	LinkDown, SwitchDown, NodeCrash, NodeHang,
+	KernelMemory, MemoryPinning,
+	AppCrash, AppHang, BadPtrNull, BadPtrOffset, BadSizeOffset,
+}
+
+// String returns the fault name used in reports and marks.
+func (t Type) String() string {
+	switch t {
+	case LinkDown:
+		return "link-down"
+	case SwitchDown:
+		return "switch-down"
+	case NodeCrash:
+		return "node-crash"
+	case NodeHang:
+		return "node-hang"
+	case KernelMemory:
+		return "kernel-memory"
+	case MemoryPinning:
+		return "memory-pinning"
+	case AppCrash:
+		return "app-crash"
+	case AppHang:
+		return "app-hang"
+	case BadPtrNull:
+		return "bad-param-null-ptr"
+	case BadPtrOffset:
+		return "bad-param-ptr-offset"
+	case BadSizeOffset:
+		return "bad-param-size-offset"
+	default:
+		return fmt.Sprintf("fault(%d)", int(t))
+	}
+}
+
+// Instantaneous reports whether the fault has no duration (bad parameters
+// corrupt exactly one call; an app crash is a point event).
+func (t Type) Instantaneous() bool {
+	switch t {
+	case AppCrash, BadPtrNull, BadPtrOffset, BadSizeOffset:
+		return true
+	}
+	return false
+}
+
+// MarkInjected and MarkRepaired are the recorder labels the injector
+// writes; stage extraction keys off them.
+const (
+	MarkInjected = "fault-injected"
+	MarkRepaired = "fault-repaired"
+)
+
+// Injector applies faults to one deployment.
+type Injector struct {
+	K   *sim.Kernel
+	D   *press.Deployment
+	Rec *metrics.Recorder
+
+	// PinFraction is the fraction of currently pinned memory the
+	// MemoryPinning fault lowers the threshold to (default 0.05 — a
+	// greedy process has locked most of physical memory, forcing
+	// VIA-PRESS-5 to shed most of its zero-copy cache).
+	PinFraction float64
+
+	rng *rand.Rand
+}
+
+// NewInjector builds an injector; rec may be nil.
+func NewInjector(k *sim.Kernel, d *press.Deployment, rec *metrics.Recorder) *Injector {
+	return &Injector{K: k, D: d, Rec: rec, PinFraction: 0.05, rng: k.Rand()}
+}
+
+func (in *Injector) mark(label string) {
+	if in.Rec != nil {
+		in.Rec.MarkNow(label)
+	}
+}
+
+// Schedule arranges for fault t to hit node target at time `at` and (for
+// non-instantaneous faults) to be repaired at at+dur.
+func (in *Injector) Schedule(t Type, target int, at sim.Time, dur time.Duration) {
+	in.K.At(at, func() {
+		in.mark(fmt.Sprintf("%s @n%d", MarkInjected, target))
+		in.inject(t, target, dur)
+	})
+}
+
+func (in *Injector) repairAt(d time.Duration, fn func()) {
+	in.K.After(d, func() {
+		fn()
+		in.mark(MarkRepaired)
+	})
+}
+
+func (in *Injector) inject(t Type, target int, dur time.Duration) {
+	node := in.D.HW.Node(target)
+	os := in.D.OS[target]
+	switch t {
+	case LinkDown:
+		node.Link.Up = false
+		in.repairAt(dur, func() { node.Link.Up = true })
+	case SwitchDown:
+		in.D.HW.Sw.Up = false
+		in.repairAt(dur, func() { in.D.HW.Sw.Up = true })
+	case NodeCrash:
+		node.Crash()
+		// The node boots again after the fault duration (hard
+		// reboot); the daemon restarts PRESS afterwards.
+		in.repairAt(dur, node.Boot)
+	case NodeHang:
+		node.Freeze()
+		in.repairAt(dur, node.Unfreeze)
+	case KernelMemory:
+		os.SetSKBufFault(true)
+		in.repairAt(dur, func() { os.SetSKBufFault(false) })
+	case MemoryPinning:
+		frac := in.PinFraction
+		if frac <= 0 {
+			frac = 0.05
+		}
+		lowered := int64(float64(os.Pinned()) * frac)
+		os.SetPinThreshold(lowered)
+		in.repairAt(dur, os.RestorePinThreshold)
+	case AppCrash:
+		if p := in.D.Process(target); p != nil {
+			p.Kill()
+		}
+		in.mark(MarkRepaired) // repair = restart, which the daemon does
+	case AppHang:
+		p := in.D.Process(target)
+		if p == nil {
+			return
+		}
+		p.Stop()
+		in.repairAt(dur, func() {
+			if p.Alive() {
+				p.Cont()
+			}
+		})
+	case BadPtrNull:
+		in.interposeOnce(target, func(p *comm.SendParams) { p.NullPtr = true })
+	case BadPtrOffset:
+		n := 1 + in.rng.Intn(100)
+		in.interposeOnce(target, func(p *comm.SendParams) { p.PtrOffset = n })
+	case BadSizeOffset:
+		n := 1 + in.rng.Intn(100)
+		in.interposeOnce(target, func(p *comm.SendParams) { p.SizeOffset = n })
+	default:
+		panic(fmt.Sprintf("faults: unknown fault %d", int(t)))
+	}
+}
+
+// interposeOnce corrupts exactly the next intra-cluster send call on the
+// target node, mirroring the paper's interposition layer between PRESS and
+// the communication library.
+func (in *Injector) interposeOnce(target int, mutate func(*comm.SendParams)) {
+	s := in.D.Server(target)
+	if s == nil || !s.Alive() {
+		return
+	}
+	s.SetInterposer(func(p *comm.SendParams) {
+		mutate(p)
+		s.SetInterposer(nil)
+		in.mark(MarkRepaired) // the corrupted call has been issued
+	})
+}

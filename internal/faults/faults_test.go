@@ -1,0 +1,206 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"vivo/internal/metrics"
+	"vivo/internal/press"
+	"vivo/internal/sim"
+	"vivo/internal/workload"
+)
+
+func testDeployment(t *testing.T, v press.Version) (*sim.Kernel, *press.Deployment, *metrics.Recorder) {
+	t.Helper()
+	k := sim.New(3)
+	cfg := press.DefaultConfig(v)
+	cfg.WorkingSetFiles = 4096
+	cfg.CacheBytes = 16 << 20
+	rec := metrics.NewRecorder(k, time.Second)
+	d := press.NewDeployment(k, cfg)
+	d.Start()
+	d.WarmStart()
+	tr := workload.NewTrace(workload.TraceConfig{
+		Files: cfg.WorkingSetFiles, FileSize: int(cfg.FileSize), ZipfS: 1.2,
+	}, rand.New(rand.NewSource(4)))
+	cl := workload.NewClients(k, workload.DefaultClients(800, cfg.Nodes), tr, d, rec)
+	cl.Start()
+	return k, d, rec
+}
+
+func TestTypeStringsAndCoverage(t *testing.T) {
+	if len(AllTypes) != 11 {
+		t.Fatalf("AllTypes = %d, want the 11 faults of Table 2", len(AllTypes))
+	}
+	seen := map[string]bool{}
+	for _, ft := range AllTypes {
+		s := ft.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	if !AppCrash.Instantaneous() || !BadPtrNull.Instantaneous() {
+		t.Fatal("point faults must be instantaneous")
+	}
+	if LinkDown.Instantaneous() || NodeHang.Instantaneous() {
+		t.Fatal("duration faults must not be instantaneous")
+	}
+}
+
+func TestScheduleMarksInjectionAndRepair(t *testing.T) {
+	k, d, rec := testDeployment(t, press.TCPPress)
+	inj := NewInjector(k, d, rec)
+	inj.Schedule(LinkDown, 3, 10*time.Second, 20*time.Second)
+	k.Run(60 * time.Second)
+	at, ok := rec.MarkTime(MarkInjected + " @n3")
+	if !ok || at != 10*time.Second {
+		t.Fatalf("injection mark at %v ok=%v", at, ok)
+	}
+	rt, ok := rec.MarkTime(MarkRepaired)
+	if !ok || rt != 30*time.Second {
+		t.Fatalf("repair mark at %v ok=%v", rt, ok)
+	}
+	if !d.HW.Node(3).Link.Up {
+		t.Fatal("link not repaired")
+	}
+}
+
+func TestLinkAndSwitchFaults(t *testing.T) {
+	k, d, rec := testDeployment(t, press.TCPPress)
+	inj := NewInjector(k, d, rec)
+	inj.Schedule(SwitchDown, 0, 5*time.Second, 10*time.Second)
+	k.Run(7 * time.Second)
+	if d.HW.Sw.Up {
+		t.Fatal("switch still up during fault")
+	}
+	k.Run(20 * time.Second)
+	if !d.HW.Sw.Up {
+		t.Fatal("switch not repaired")
+	}
+}
+
+func TestNodeCrashRebootsAfterDuration(t *testing.T) {
+	k, d, rec := testDeployment(t, press.VIAPress0)
+	inj := NewInjector(k, d, rec)
+	inj.Schedule(NodeCrash, 2, 5*time.Second, 30*time.Second)
+	k.Run(10 * time.Second)
+	if d.HW.Node(2).Up {
+		t.Fatal("node still up after crash injection")
+	}
+	k.Run(40 * time.Second)
+	if !d.HW.Node(2).Up {
+		t.Fatal("node did not boot after fault duration")
+	}
+	k.Run(60 * time.Second)
+	if s := d.Server(2); s == nil || !s.Alive() {
+		t.Fatal("daemon did not restart the server after reboot")
+	}
+}
+
+func TestNodeHangFreezesAndResumes(t *testing.T) {
+	k, d, rec := testDeployment(t, press.TCPPress)
+	inj := NewInjector(k, d, rec)
+	inj.Schedule(NodeHang, 1, 5*time.Second, 10*time.Second)
+	k.Run(7 * time.Second)
+	if !d.HW.Node(1).Frozen {
+		t.Fatal("node not frozen")
+	}
+	k.Run(20 * time.Second)
+	if d.HW.Node(1).Frozen {
+		t.Fatal("node still frozen after repair")
+	}
+}
+
+func TestMemoryFaults(t *testing.T) {
+	k, d, rec := testDeployment(t, press.VIAPress5)
+	inj := NewInjector(k, d, rec)
+	inj.Schedule(KernelMemory, 0, 5*time.Second, 10*time.Second)
+	inj.Schedule(MemoryPinning, 3, 5*time.Second, 10*time.Second)
+	k.Run(7 * time.Second)
+	if d.OS[0].AllocSKBuf() {
+		t.Fatal("skbuf allocation should fail during fault")
+	}
+	if d.OS[3].PinThreshold() >= d.OS[3].Pinned()+1 {
+		t.Fatal("pin threshold not lowered below current usage")
+	}
+	k.Run(20 * time.Second)
+	if !d.OS[0].AllocSKBuf() {
+		t.Fatal("skbuf fault not repaired")
+	}
+}
+
+func TestAppCrashAndHang(t *testing.T) {
+	k, d, rec := testDeployment(t, press.TCPPressHB)
+	inj := NewInjector(k, d, rec)
+	inj.Schedule(AppCrash, 1, 5*time.Second, 0)
+	inj.Schedule(AppHang, 2, 5*time.Second, 10*time.Second)
+	k.Run(6 * time.Second)
+	if p := d.Process(2); p == nil || !p.Stopped() {
+		t.Fatal("process 2 not stopped")
+	}
+	k.Run(20 * time.Second)
+	if p := d.Process(2); p == nil || p.Stopped() {
+		t.Fatal("process 2 not resumed")
+	}
+	k.Run(60 * time.Second)
+	if s := d.Server(1); s == nil || !s.Alive() {
+		t.Fatal("crashed process not restarted by daemon")
+	}
+}
+
+func TestBadParamInterposerIsOneShot(t *testing.T) {
+	k, d, rec := testDeployment(t, press.TCPPress)
+	inj := NewInjector(k, d, rec)
+	inj.Schedule(BadSizeOffset, 0, 5*time.Second, 0)
+	k.Run(30 * time.Second)
+	// Exactly one repair mark: the corruption applied to one call.
+	repairs := 0
+	for _, m := range rec.Marks() {
+		if m.Label == MarkRepaired {
+			repairs++
+		}
+	}
+	if repairs != 1 {
+		t.Fatalf("repair marks = %d, want exactly 1 (one-shot)", repairs)
+	}
+}
+
+// TestBadParamEffects verifies the mutations through their observable
+// consequences: a NULL pointer on TCP triggers the synchronous EFAULT
+// fail-fast path and exactly one process restart.
+func TestBadParamEffects(t *testing.T) {
+	k, d, rec := testDeployment(t, press.TCPPress)
+	d.Events = func(l string) { rec.MarkNow(l) }
+	inj := NewInjector(k, d, rec)
+	inj.Schedule(BadPtrNull, 0, 5*time.Second, 0)
+	k.Run(60 * time.Second)
+	failFasts, restarts := 0, 0
+	for _, m := range rec.Marks() {
+		if containsSub(m.Label, "fail-fast") {
+			failFasts++
+		}
+		if m.At > 5*time.Second && containsSub(m.Label, "press started") {
+			restarts++
+		}
+	}
+	if failFasts != 1 || restarts != 1 {
+		t.Fatalf("failFasts=%d restarts=%d, want 1 and 1", failFasts, restarts)
+	}
+	// The cluster fully reintegrates afterwards.
+	for i := 0; i < 4; i++ {
+		if len(d.Server(i).Members()) != 4 {
+			t.Fatalf("node %d members = %v", i, d.Server(i).Members())
+		}
+	}
+}
+
+func containsSub(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,227 @@
+package osmodel
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vivo/internal/cluster"
+	"vivo/internal/sim"
+)
+
+func newOS(t *testing.T) (*sim.Kernel, *cluster.Cluster, *OS) {
+	t.Helper()
+	k := sim.New(1)
+	c := cluster.New(k, cluster.DefaultConfig())
+	return k, c, New(k, c.Node(0), 100<<20) // 100 MiB pinnable
+}
+
+func TestSKBufFault(t *testing.T) {
+	_, _, o := newOS(t)
+	if !o.AllocSKBuf() {
+		t.Fatal("healthy OS should allocate skbufs")
+	}
+	o.SetSKBufFault(true)
+	if o.AllocSKBuf() {
+		t.Fatal("allocation should fail during kernel-memory fault")
+	}
+	o.SetSKBufFault(false)
+	if !o.AllocSKBuf() {
+		t.Fatal("allocation should succeed after repair")
+	}
+}
+
+func TestSKBufFailsWhileHostDown(t *testing.T) {
+	_, c, o := newOS(t)
+	c.Node(0).Crash()
+	if o.AllocSKBuf() {
+		t.Fatal("allocation on a crashed host")
+	}
+}
+
+func TestPinAccounting(t *testing.T) {
+	_, _, o := newOS(t)
+	if err := o.Pin(60 << 20); err != nil {
+		t.Fatalf("pin failed: %v", err)
+	}
+	if err := o.Pin(60 << 20); !errors.Is(err, ErrNoPinnableMemory) {
+		t.Fatalf("over-limit pin err = %v, want ErrNoPinnableMemory", err)
+	}
+	o.Unpin(30 << 20)
+	if err := o.Pin(60 << 20); err != nil {
+		t.Fatalf("pin after unpin failed: %v", err)
+	}
+	if o.Pinned() != 90<<20 {
+		t.Fatalf("pinned = %d, want 90MiB", o.Pinned())
+	}
+}
+
+func TestPinThresholdFault(t *testing.T) {
+	_, _, o := newOS(t)
+	if err := o.Pin(50 << 20); err != nil {
+		t.Fatal(err)
+	}
+	// Fault lowers the threshold below current usage: existing pins stay,
+	// new pins fail.
+	o.SetPinThreshold(40 << 20)
+	if o.Pinned() != 50<<20 {
+		t.Fatal("lowering threshold must not unpin")
+	}
+	if err := o.Pin(1); !errors.Is(err, ErrNoPinnableMemory) {
+		t.Fatalf("pin during fault err = %v", err)
+	}
+	// Unpinning below the threshold re-enables pinning, like the paper's
+	// VIA-PRESS-5 dropping cache entries to relieve pressure.
+	o.Unpin(20 << 20)
+	if err := o.Pin(5 << 20); err != nil {
+		t.Fatalf("pin after relieving pressure: %v", err)
+	}
+	o.RestorePinThreshold()
+	if o.PinThreshold() != 100<<20 {
+		t.Fatalf("threshold after restore = %d", o.PinThreshold())
+	}
+}
+
+func TestCrashResetsKernelState(t *testing.T) {
+	_, c, o := newOS(t)
+	o.SetSKBufFault(true)
+	if err := o.Pin(10 << 20); err != nil {
+		t.Fatal(err)
+	}
+	o.SetPinThreshold(1)
+	c.Node(0).Crash()
+	c.Node(0).Boot()
+	if o.Pinned() != 0 {
+		t.Fatal("pins survived reboot")
+	}
+	if o.SKBufFault() {
+		t.Fatal("skbuf fault flag survived reboot")
+	}
+	if o.PinThreshold() != 100<<20 {
+		t.Fatal("pin threshold not restored on reboot")
+	}
+}
+
+func TestProcessLifecycle(t *testing.T) {
+	_, _, o := newOS(t)
+	p := o.Spawn("press")
+	if !p.Alive() || o.Processes() != 1 {
+		t.Fatal("spawned process not alive")
+	}
+	var exitKilled []bool
+	p.OnExit(func(killed bool) { exitKilled = append(exitKilled, killed) })
+	p.Kill()
+	if p.Alive() || o.Processes() != 0 {
+		t.Fatal("killed process still alive")
+	}
+	if len(exitKilled) != 1 || !exitKilled[0] {
+		t.Fatalf("exit callbacks = %v, want one killed=true", exitKilled)
+	}
+	p.Kill() // idempotent
+	if len(exitKilled) != 1 {
+		t.Fatal("double kill re-ran exit callbacks")
+	}
+}
+
+func TestNodeCrashKillsProcessesWithKilledFalse(t *testing.T) {
+	_, c, o := newOS(t)
+	p := o.Spawn("press")
+	var got []bool
+	p.OnExit(func(killed bool) { got = append(got, killed) })
+	c.Node(0).Crash()
+	if len(got) != 1 || got[0] {
+		t.Fatalf("exit on node crash = %v, want one killed=false", got)
+	}
+}
+
+func TestStopContBlocksCPU(t *testing.T) {
+	k, c, o := newOS(t)
+	p := o.Spawn("press")
+	ran := false
+	k.After(time.Second, func() { p.Stop() })
+	k.After(2*time.Second, func() { c.Node(0).CPU.Submit(time.Millisecond, func() { ran = true }) })
+	k.Run(10 * time.Second)
+	if ran {
+		t.Fatal("CPU ran work while process stopped")
+	}
+	if !p.Stopped() {
+		t.Fatal("process should report stopped")
+	}
+	p.Cont()
+	k.Run(20 * time.Second)
+	if !ran {
+		t.Fatal("work did not resume after SIGCONT")
+	}
+}
+
+func TestStopHooksFire(t *testing.T) {
+	_, _, o := newOS(t)
+	p := o.Spawn("press")
+	var events []string
+	p.OnStop(func() { events = append(events, "stop") })
+	p.OnCont(func() { events = append(events, "cont") })
+	p.Stop()
+	p.Stop() // idempotent
+	p.Cont()
+	p.Cont() // idempotent
+	if len(events) != 2 || events[0] != "stop" || events[1] != "cont" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestKillWhileStoppedReleasesCPU(t *testing.T) {
+	k, c, o := newOS(t)
+	p := o.Spawn("press")
+	p.Stop()
+	p.Kill()
+	ran := false
+	c.Node(0).CPU.Submit(time.Millisecond, func() { ran = true })
+	k.Run(time.Second)
+	if !ran {
+		t.Fatal("CPU stayed blocked after stopped process was killed")
+	}
+}
+
+func TestPIDsAreUniqueAndOrdered(t *testing.T) {
+	_, _, o := newOS(t)
+	a, b := o.Spawn("a"), o.Spawn("b")
+	if a.PID == b.PID || b.PID < a.PID {
+		t.Fatalf("pids %d %d", a.PID, b.PID)
+	}
+}
+
+// Property: any interleaving of valid pin/unpin operations keeps
+// 0 <= pinned <= threshold invariant, and pin never succeeds past it.
+func TestPropertyPinInvariant(t *testing.T) {
+	f := func(ops []int16) bool {
+		k := sim.New(9)
+		c := cluster.New(k, cluster.DefaultConfig())
+		o := New(k, c.Node(0), 1000)
+		for _, op := range ops {
+			n := int64(op)
+			if n >= 0 {
+				err := o.Pin(n)
+				if err == nil && o.Pinned() > o.PinThreshold() {
+					return false
+				}
+				if err != nil && o.Pinned()+n <= o.PinThreshold() {
+					return false
+				}
+			} else {
+				rel := -n
+				if rel > o.Pinned() {
+					rel = o.Pinned()
+				}
+				o.Unpin(rel)
+			}
+			if o.Pinned() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

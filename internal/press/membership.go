@@ -1,0 +1,385 @@
+package press
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vivo/internal/comm"
+	"vivo/internal/sim"
+)
+
+// reconfigure removes node x from the cooperating cluster: the temporary
+// recovery step of §3. announce makes this node broadcast the removal
+// (used by heartbeat-based detection, where only the successor notices).
+func (s *Server) reconfigure(x int, announce bool) {
+	if !s.alive || x == s.id || !s.members[x] {
+		return
+	}
+	delete(s.members, x)
+	s.mark(fmt.Sprintf("reconfigured: removed n%d, members now %v", x, s.Members()))
+	if pc := s.conns[x]; pc != nil {
+		delete(s.conns, x)
+		pc.Close()
+	}
+	// Flush locality information for the departed node.
+	for f, m := range s.dir {
+		if m&(1<<uint(x)) != 0 {
+			m &^= 1 << uint(x)
+			if m == 0 {
+				delete(s.dir, f)
+			} else {
+				s.dir[f] = m
+			}
+		}
+	}
+	// Re-dispatch requests that were waiting on the departed service
+	// node; they will be served locally (disk) or by another cacher.
+	for id, p := range s.pending {
+		if p.svc == x {
+			delete(s.pending, id)
+			req := p.req
+			s.node.CPU.Submit(s.cost.SendSmall, func() {
+				if !s.alive {
+					return
+				}
+				if req.Settled() {
+					if s.inflight > 0 {
+						s.inflight--
+					}
+					return
+				}
+				s.route(req)
+			})
+		}
+	}
+	s.dropQueuedTo(x)
+	s.resetRingGrace()
+	if announce {
+		s.broadcast(msgNodeDown, wire{Node: x}, smallMsgSize, s.cost.SendSmall)
+	}
+	s.drainOut()
+}
+
+// ---- directed ring and heartbeats (TCP-PRESS-HB) ----
+
+// successor returns the next active member after this node on the ring.
+func (s *Server) successor() int {
+	return s.ringNeighbor(+1)
+}
+
+// predecessor returns the member whose heartbeats we monitor.
+func (s *Server) predecessor() int {
+	return s.ringNeighbor(-1)
+}
+
+func (s *Server) ringNeighbor(dir int) int {
+	ms := s.Members()
+	if len(ms) <= 1 {
+		return s.id
+	}
+	idx := -1
+	for i, m := range ms {
+		if m == s.id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return s.id
+	}
+	n := len(ms)
+	return ms[((idx+dir)%n+n)%n]
+}
+
+func (s *Server) resetRingGrace() {
+	s.lastHB[s.predecessor()] = s.k().Now()
+}
+
+// startHeartbeats arms the heartbeat thread. In PRESS the heartbeat
+// machinery runs independently of the main coordinating loop — if it went
+// through the (blockable) main loop, a single stalled peer would silence
+// every node's heartbeats and fragment the whole cluster, which is not what
+// the paper observes. It still respects SIGSTOP (thread stopped with the
+// process) and node freezes.
+func (s *Server) startHeartbeats() {
+	if !s.cfg.Version.Heartbeats() {
+		return
+	}
+	s.resetRingGrace()
+	s.hbSend = sim.NewTicker(s.k(), s.cfg.HBPeriod, func() {
+		if !s.alive || s.proc.Stopped() || s.node.Frozen {
+			return
+		}
+		succ := s.successor()
+		if succ == s.id {
+			return
+		}
+		if pc := s.conns[succ]; pc != nil && pc.Established() {
+			// Direct send, bypassing the main loop and its queue;
+			// a full channel just means this heartbeat is lost.
+			err := pc.Send(s.params(msgHeartbeat, wire{}, smallMsgSize))
+			_ = err
+		}
+	})
+	s.hbCheck = sim.NewTicker(s.k(), s.cfg.HBPeriod, func() {
+		if !s.alive || s.proc.Stopped() || s.node.Frozen {
+			return
+		}
+		pred := s.predecessor()
+		if pred == s.id {
+			return
+		}
+		last, seen := s.lastHB[pred]
+		if !seen {
+			s.lastHB[pred] = s.k().Now()
+			return
+		}
+		if s.k().Now()-last > s.cfg.HBTimeout {
+			// Three missed heartbeats: declare the predecessor
+			// failed and tell the others.
+			s.mark(fmt.Sprintf("heartbeat timeout for n%d", pred))
+			s.reconfigure(pred, true)
+		}
+	})
+	s.hbSend.Start()
+	s.hbCheck.Start()
+}
+
+// ---- rejoin protocol ----
+
+// startJoin runs the appropriate (one-shot) rejoin protocol for a freshly
+// restarted process: dial everyone; TCP additionally broadcasts an explicit
+// join request that only the lowest-id active member may answer. If nothing
+// is heard within JoinTimeout the node gives up and serves standalone —
+// which, combined with peers that still believe the old incarnation is a
+// member, reproduces the paper's TCP-PRESS node-crash quirk.
+func (s *Server) startJoin() {
+	s.mark("rejoin started")
+	for j := 0; j < s.cfg.Nodes; j++ {
+		if j == s.id {
+			continue
+		}
+		j := j
+		s.tr.dial(j, func(pc peerConn, err error) {
+			if !s.alive {
+				if pc != nil {
+					pc.Close()
+				}
+				return
+			}
+			if err != nil {
+				return
+			}
+			pc.bind(s.callbacks())
+			if s.cfg.Version.UsesVIA() {
+				// VIA: re-established connection means re-admitted;
+				// the peer sends its caching info, we send ours.
+				s.members[j] = true
+				s.conns[j] = pc
+				s.sendCacheSummary(j)
+				s.maybeFinishJoin()
+				return
+			}
+			s.joinPending[j] = pc
+			s.sendDirect(pc, msgJoinReq, wire{Node: s.id}, smallMsgSize)
+		})
+	}
+	s.joinTimer = s.k().After(s.cfg.JoinTimeout, func() {
+		if !s.alive || s.joined {
+			return
+		}
+		s.giveUpJoin()
+	})
+}
+
+func (s *Server) maybeFinishJoin() {
+	if s.joined || !s.cfg.Version.UsesVIA() {
+		return
+	}
+	// VIA joins complete as soon as every reachable peer re-admitted us;
+	// completion is finalized by the timeout (peers that never answer
+	// are simply not members).
+	if len(s.conns) == s.cfg.Nodes-1 {
+		s.finishJoin()
+	}
+}
+
+func (s *Server) finishJoin() {
+	if s.joined {
+		return
+	}
+	s.joined = true
+	if s.joinTimer != nil {
+		s.joinTimer.Cancel()
+	}
+	s.resetRingGrace()
+	s.mark(fmt.Sprintf("rejoined, members %v", s.Members()))
+}
+
+func (s *Server) giveUpJoin() {
+	// The paper's observed behaviour: the recovered node gives up and
+	// runs as an independent server until an operator intervenes.
+	s.joined = true
+	for j, pc := range s.joinPending {
+		pc.Close()
+		delete(s.joinPending, j)
+	}
+	if s.cfg.Version.UsesVIA() {
+		// Whatever connections were re-established form our cluster.
+		s.resetRingGrace()
+		s.mark(fmt.Sprintf("join finalized with members %v", s.Members()))
+		return
+	}
+	for j, pc := range s.conns {
+		pc.Close()
+		delete(s.conns, j)
+		delete(s.members, j)
+	}
+	s.members = map[int]bool{s.id: true}
+	s.mark("gave up rejoin; running standalone")
+}
+
+// sendDirect bypasses the blocking send path (used on join channels that
+// carry no other traffic).
+func (s *Server) sendDirect(pc peerConn, kind int, w wire, size int) {
+	p := s.params(kind, w, size)
+	if s.interpose != nil {
+		s.interpose(&p)
+	}
+	err := pc.Send(p)
+	switch {
+	case err == nil:
+	case errors.Is(err, comm.ErrBadDescriptor):
+		// Robust layer rejected a corrupted call; reissue clean.
+		_ = pc.Send(s.params(kind, w, size))
+	case errors.Is(err, comm.ErrEFAULT):
+		s.failFast(err)
+	}
+}
+
+// handleJoinReq implements the member side of the TCP join protocol.
+func (s *Server) handleJoinReq(w wire) {
+	r := w.Node
+	if s.members[r] && s.conns[r] != nil {
+		// We still believe the old incarnation is alive: the rejoin
+		// message is disregarded (§5.3's timing problem).
+		s.mark(fmt.Sprintf("disregarded join from n%d (still a member)", r))
+		return
+	}
+	// Only the lowest-id active member answers.
+	if s.id != s.Members()[0] {
+		return
+	}
+	pc := s.joinPending[r]
+	if pc == nil {
+		return
+	}
+	s.members[r] = true
+	s.conns[r] = pc
+	delete(s.joinPending, r)
+	s.resetRingGrace()
+	s.sendDirect(pc, msgJoinAccept, wire{Members: s.Members()}, smallMsgSize)
+	s.broadcast(msgNodeUp, wire{Node: r}, smallMsgSize, s.cost.SendSmall)
+	s.sendCacheSummary(r)
+	s.mark(fmt.Sprintf("accepted join of n%d", r))
+}
+
+// handleJoinAccept installs the membership sent by the accepting member.
+func (s *Server) handleJoinAccept(w wire) {
+	if s.joined {
+		return
+	}
+	for _, m := range w.Members {
+		if m == s.id {
+			continue
+		}
+		s.members[m] = true
+		if pc := s.joinPending[m]; pc != nil {
+			s.conns[m] = pc
+			delete(s.joinPending, m)
+		}
+	}
+	s.finishJoin()
+	// Re-advertise whatever we cache (empty for a fresh restart, full
+	// for a remerging partition).
+	if s.cache.Len() > 0 {
+		for _, m := range s.Members() {
+			if m != s.id {
+				s.sendCacheSummary(m)
+			}
+		}
+	}
+}
+
+// handleNodeUp promotes the held channel from a newly admitted node.
+func (s *Server) handleNodeUp(w wire) {
+	r := w.Node
+	if r == s.id || s.members[r] {
+		return
+	}
+	pc := s.joinPending[r]
+	if pc == nil {
+		// The channel may not have arrived yet; remember membership,
+		// the accept path will promote it.
+		s.members[r] = true
+		return
+	}
+	s.admit(r, pc)
+}
+
+// sendCacheSummary streams our cache contents to a (re)joining node in
+// bounded chunks.
+func (s *Server) sendCacheSummary(dst int) {
+	const chunk = 4096
+	var files []int
+	for f, m := range s.dir {
+		if m&(1<<uint(s.id)) != 0 {
+			files = append(files, f)
+		}
+	}
+	// Deterministic order for reproducibility.
+	sort.Ints(files)
+	for off := 0; off < len(files); off += chunk {
+		end := off + chunk
+		if end > len(files) {
+			end = len(files)
+		}
+		part := files[off:end]
+		s.send(dst, msgCacheSummary, wire{Files: part}, 8*len(part), s.cost.SendData)
+	}
+}
+
+// ---- remerge ablation (§6.2's "rigorous membership algorithm") ----
+
+// remergeTick periodically tries to heal a splintered cluster: a node whose
+// partition minimum exceeds some missing node's id abandons its partition
+// and rejoins through the standard join protocol.
+func (s *Server) remergeTick() {
+	if !s.alive || !s.joined || s.proc.Stopped() || s.node.Frozen {
+		return
+	}
+	if len(s.members) >= s.cfg.Nodes {
+		return
+	}
+	min := s.Members()[0]
+	rejoin := false
+	for j := 0; j < s.cfg.Nodes; j++ {
+		if !s.members[j] && j < min && s.d.HW.Node(j).Up {
+			rejoin = true
+			break
+		}
+	}
+	if !rejoin {
+		return
+	}
+	s.mark("remerge: abandoning partition to rejoin lower cluster")
+	for j, pc := range s.conns {
+		pc.Close()
+		delete(s.conns, j)
+		delete(s.members, j)
+	}
+	s.members = map[int]bool{s.id: true}
+	s.joined = false
+	s.startJoin()
+}

@@ -1,0 +1,117 @@
+package press
+
+import (
+	"testing"
+	"time"
+
+	"vivo/internal/comm"
+)
+
+// The §7 extension version: synchronous descriptor validation means a
+// corrupted send call is rejected and reissued — no process dies, no
+// throughput dip beyond the one call.
+func TestRobustSurvivesBadParameters(t *testing.T) {
+	f := newFixture(t, RobustPress, 31)
+	f.d.Events = func(l string) { f.rec.MarkNow(l) }
+	f.run(sec(30))
+	for _, mutate := range []func(*comm.SendParams){
+		func(p *comm.SendParams) { p.NullPtr = true },
+		func(p *comm.SendParams) { p.SizeOffset = 40 },
+		func(p *comm.SendParams) { p.PtrOffset = 12 },
+	} {
+		oneShot(f.d.Server(2), mutate)
+		f.run(f.k.Now() + sec(10))
+	}
+	f.run(sec(120))
+	restarts := 0
+	for n := byte('0'); n <= '3'; n++ {
+		restarts += countRestarts(f.rec.Marks(), n)
+	}
+	if restarts != 0 {
+		t.Fatalf("robust layer caused %d restarts for rejected descriptors, want 0", restarts)
+	}
+	for i := 0; i < 4; i++ {
+		f.wantMembers(i, 0, 1, 2, 3)
+	}
+	after := f.throughput(sec(60), sec(120))
+	if after < testRate*0.95 {
+		t.Fatalf("throughput = %.0f after bad-parameter injections, want undisturbed", after)
+	}
+}
+
+// The robust version re-merges after a transient link fault instead of
+// waiting for an operator (the §6.2 membership fix is part of the design).
+func TestRobustRemergesAfterLinkFault(t *testing.T) {
+	f := newFixture(t, RobustPress, 32)
+	f.run(sec(30))
+	f.d.HW.Node(3).Link.Up = false
+	f.k.After(sec(60), func() { f.d.HW.Node(3).Link.Up = true })
+	// Shortly after the break the cluster splinters like plain VIA...
+	f.run(sec(40))
+	f.wantMembers(0, 0, 1, 2)
+	// ...but after repair the membership protocol heals it.
+	f.run(sec(300))
+	for i := 0; i < 4; i++ {
+		f.wantMembers(i, 0, 1, 2, 3)
+	}
+	end := f.throughput(sec(250), sec(300))
+	if end < testRate*0.95 {
+		t.Fatalf("post-remerge throughput = %.0f", end)
+	}
+}
+
+// Pre-allocation still holds: kernel-memory exhaustion does not touch the
+// robust layer, and the cache is NOT pinned, so pinnable-memory exhaustion
+// does not shed it (the single-copy design's advantage over VIA-PRESS-5).
+func TestRobustImmuneToMemoryFaults(t *testing.T) {
+	f := newFixture(t, RobustPress, 33)
+	f.run(sec(30))
+	before := f.d.Server(3).CacheLen()
+	f.d.OS[3].SetSKBufFault(true)
+	os3 := f.d.OS[3]
+	os3.SetPinThreshold(os3.Pinned() / 4)
+	f.k.After(sec(60), func() {
+		f.d.OS[3].SetSKBufFault(false)
+		os3.RestorePinThreshold()
+	})
+	f.run(sec(120))
+	during := f.throughput(sec(35), sec(85))
+	if during < testRate*0.95 {
+		t.Fatalf("throughput during memory faults = %.0f, want unaffected", during)
+	}
+	if got := f.d.Server(3).CacheLen(); got < before {
+		t.Fatalf("cache shed from %d to %d; single-copy cache must not be pinned", before, got)
+	}
+}
+
+// A crashed robust process still restarts and reintegrates like VIA.
+func TestRobustAppCrashRecovers(t *testing.T) {
+	f := newFixture(t, RobustPress, 34)
+	f.run(sec(30))
+	f.d.Process(1).Kill()
+	f.run(sec(31))
+	f.wantMembers(0, 0, 2, 3)
+	f.run(sec(200))
+	for i := 0; i < 4; i++ {
+		f.wantMembers(i, 0, 1, 2, 3)
+	}
+}
+
+// Transient packet drops are absorbed by bounded retransmission instead of
+// resetting the channel — "match the fabric's fault model".
+func TestRobustAbsorbsTransientDrop(t *testing.T) {
+	f := newFixture(t, RobustPress, 35)
+	f.run(sec(30))
+	// A very short link glitch (shorter than the retry budget) models a
+	// transient drop burst.
+	f.d.HW.Node(3).Link.Up = false
+	f.k.After(200*time.Millisecond, func() { f.d.HW.Node(3).Link.Up = true })
+	f.run(sec(90))
+	for i := 0; i < 4; i++ {
+		f.wantMembers(i, 0, 1, 2, 3)
+	}
+	after := f.throughput(sec(40), sec(90))
+	if after < testRate*0.95 {
+		t.Fatalf("throughput after transient drop = %.0f, want absorbed", after)
+	}
+}

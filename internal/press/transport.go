@@ -1,0 +1,128 @@
+package press
+
+import (
+	"vivo/internal/comm"
+	"vivo/internal/tcpsim"
+	"vivo/internal/viasim"
+)
+
+// delivered is a substrate-independent received message.
+type delivered struct {
+	msg     comm.Message
+	corrupt bool
+	release func()
+}
+
+// peerConn abstracts one established channel to a peer, hiding whether it
+// is a TCP connection or a VI.
+type peerConn interface {
+	// Remote returns the peer node id.
+	Remote() int
+	// Established reports whether the channel is usable.
+	Established() bool
+	// Send posts one message. Errors follow the substrate's semantics
+	// (comm.ErrWouldBlock, comm.ErrEFAULT, comm.ErrBroken).
+	Send(p comm.SendParams) error
+	// Close tears the channel down locally, notifying the peer.
+	Close()
+	// bind installs the server's callbacks.
+	bind(cb connCallbacks)
+}
+
+type connCallbacks struct {
+	onMessage  func(pc peerConn, d delivered)
+	onWritable func(pc peerConn)
+	onBreak    func(pc peerConn, err error)
+	// onFatal reports unrecoverable substrate errors (TCP stream
+	// desync, VIA descriptor error completion); PRESS fail-fasts.
+	onFatal func(pc peerConn, err error)
+}
+
+// transport abstracts the per-node substrate endpoint factory.
+type transport interface {
+	listen(accept func(pc peerConn))
+	unlisten()
+	dial(dst int, cb func(pc peerConn, err error))
+}
+
+// --- TCP ---
+
+type tcpTransport struct{ st *tcpsim.Stack }
+
+func (t tcpTransport) listen(accept func(peerConn)) {
+	t.st.Listen(func(c *tcpsim.Conn) { accept(&tcpConn{c: c}) })
+}
+
+func (t tcpTransport) unlisten() { t.st.Listen(nil) }
+
+func (t tcpTransport) dial(dst int, cb func(peerConn, error)) {
+	t.st.Dial(dst, func(c *tcpsim.Conn, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(&tcpConn{c: c}, nil)
+	})
+}
+
+type tcpConn struct{ c *tcpsim.Conn }
+
+func (tc *tcpConn) Remote() int                  { return tc.c.Remote() }
+func (tc *tcpConn) Established() bool            { return tc.c.Established() }
+func (tc *tcpConn) Send(p comm.SendParams) error { return tc.c.Send(p) }
+func (tc *tcpConn) Close()                       { tc.c.Abort() }
+
+func (tc *tcpConn) bind(cb connCallbacks) {
+	tc.c.Handler = tcpsim.Handler{
+		OnMessage: func(_ *tcpsim.Conn, d *tcpsim.Delivered) {
+			cb.onMessage(tc, delivered{msg: d.Msg, corrupt: d.Corrupt, release: d.Release})
+		},
+		OnWritable: func(*tcpsim.Conn) { cb.onWritable(tc) },
+		OnBreak:    func(_ *tcpsim.Conn, err error) { cb.onBreak(tc, err) },
+		OnFatal:    func(_ *tcpsim.Conn, err error) { cb.onFatal(tc, err) },
+	}
+}
+
+// --- VIA ---
+
+type viaTransport struct {
+	nic          *viasim.NIC
+	remoteWrites bool
+}
+
+func (t viaTransport) listen(accept func(peerConn)) {
+	t.nic.Listen(func(v *viasim.VI) { accept(&viaConn{v: v, rw: t.remoteWrites}) })
+}
+
+func (t viaTransport) unlisten() { t.nic.Listen(nil) }
+
+func (t viaTransport) dial(dst int, cb func(peerConn, error)) {
+	t.nic.Dial(dst, func(v *viasim.VI, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(&viaConn{v: v, rw: t.remoteWrites}, nil)
+	})
+}
+
+type viaConn struct {
+	v  *viasim.VI
+	rw bool
+}
+
+func (vc *viaConn) Remote() int                  { return vc.v.Remote() }
+func (vc *viaConn) Established() bool            { return vc.v.Established() }
+func (vc *viaConn) Send(p comm.SendParams) error { return vc.v.Send(p, vc.rw) }
+func (vc *viaConn) Close()                       { vc.v.Disconnect() }
+
+func (vc *viaConn) bind(cb connCallbacks) {
+	vc.v.Handler = viasim.Handler{
+		OnMessage: func(_ *viasim.VI, d *viasim.Delivered) {
+			cb.onMessage(vc, delivered{msg: d.Msg, corrupt: d.Corrupt, release: d.Release})
+		},
+		OnWritable: func(*viasim.VI) { cb.onWritable(vc) },
+		OnBreak:    func(_ *viasim.VI, err error) { cb.onBreak(vc, err) },
+		OnError:    func(_ *viasim.VI, err error) { cb.onFatal(vc, err) },
+	}
+}

@@ -1,0 +1,94 @@
+// Package press implements the PRESS cluster-based locality-conscious web
+// server of Carrera & Bianchini on top of the simulated TCP (tcpsim) and
+// VIA (viasim) substrates, in the five versions the paper studies
+// (Table 1), together with the restart daemon and the deployment wiring
+// that connects servers, substrates, OS models and client workload.
+//
+// Any node can receive a client request (round-robin DNS); the initial
+// node parses it and either serves it from its own cache/disk or forwards
+// it to the service node that caches the file, which returns the content.
+// Nodes broadcast cache insertions/evictions so everyone shares a view of
+// who caches what, and piggyback load on every intra-cluster message.
+// Failure detection is by broken connections (all versions) plus a
+// directed-ring heartbeat protocol (TCP-PRESS-HB only); recovery excludes
+// the failed node, and a rejoining node is re-integrated per the paper's
+// TCP or VIA join protocol. The server is fail-fast: unexpected
+// communication errors terminate the process, which the per-node daemon
+// then restarts.
+package press
+
+import "fmt"
+
+// Version identifies one of the five PRESS builds of Table 1.
+type Version int
+
+const (
+	// TCPPress uses kernel TCP; connection breaks trigger
+	// reconfiguration (and TCP takes minutes to break them).
+	TCPPress Version = iota
+	// TCPPressHB adds directed-ring heartbeats for fast detection.
+	TCPPressHB
+	// VIAPress0 uses VIA with regular (interrupt-driven) messages.
+	VIAPress0
+	// VIAPress3 uses VIA remote memory writes and polling everywhere.
+	VIAPress3
+	// VIAPress5 adds zero-copy data transfers, which requires pinning
+	// the file cache in physical memory.
+	VIAPress5
+	// RobustPress is this repository's implementation of the
+	// communication layer the paper's §7 *proposes* but does not build:
+	// message-based, single-copy (bounce buffers pre-allocated and
+	// pinned at setup, so the file cache needs no pinning), fail-stop
+	// fault reporting matched to the SAN fabric, synchronous descriptor
+	// validation (bad parameters are rejected without hurting the
+	// channel), and a rigorous membership protocol that re-merges
+	// splintered clusters (§6.2's suggested fix).
+	RobustPress
+)
+
+// Versions lists the paper's five versions in Table 1 order.
+var Versions = []Version{TCPPress, TCPPressHB, VIAPress0, VIAPress3, VIAPress5}
+
+// AllVersions adds the §7 extension version to the paper's five.
+var AllVersions = append(append([]Version(nil), Versions...), RobustPress)
+
+// String returns the paper's name for the version.
+func (v Version) String() string {
+	switch v {
+	case TCPPress:
+		return "TCP-PRESS"
+	case TCPPressHB:
+		return "TCP-PRESS-HB"
+	case VIAPress0:
+		return "VIA-PRESS-0"
+	case VIAPress3:
+		return "VIA-PRESS-3"
+	case VIAPress5:
+		return "VIA-PRESS-5"
+	case RobustPress:
+		return "ROBUST-PRESS"
+	default:
+		return fmt.Sprintf("Version(%d)", int(v))
+	}
+}
+
+// UsesVIA reports whether intra-cluster communication runs on the
+// user-level SAN substrate (ROBUST-PRESS is a library layer over the same
+// hardware).
+func (v Version) UsesVIA() bool { return v >= VIAPress0 }
+
+// RemoteWrites reports whether intra-cluster messages use remote memory
+// writes with polled reception.
+func (v Version) RemoteWrites() bool { return v == VIAPress3 || v == VIAPress5 }
+
+// ZeroCopy reports whether file transfers avoid sender/receiver copies,
+// requiring the file cache to be pinned.
+func (v Version) ZeroCopy() bool { return v == VIAPress5 }
+
+// Heartbeats reports whether the ring heartbeat protocol detects failures.
+func (v Version) Heartbeats() bool { return v == TCPPressHB }
+
+// Robust reports whether this is the §7 robust-layer extension: sync
+// descriptor validation, graceful bad-parameter handling and re-merging
+// membership.
+func (v Version) Robust() bool { return v == RobustPress }

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	k := New(1)
+	var got []int
+	k.After(3*time.Second, func() { got = append(got, 3) })
+	k.After(1*time.Second, func() { got = append(got, 1) })
+	k.After(2*time.Second, func() { got = append(got, 2) })
+	k.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("clock = %v, want 3s", k.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	k := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(time.Second, func() { got = append(got, i) })
+	}
+	k.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	k := New(1)
+	fired := false
+	e := k.After(time.Second, func() { fired = true })
+	e.Cancel()
+	k.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	k := New(1)
+	fired := false
+	later := k.After(2*time.Second, func() { fired = true })
+	k.After(time.Second, func() { later.Cancel() })
+	k.RunAll()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	k := New(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 5 * time.Second} {
+		d := d
+		k.After(d, func() { fired = append(fired, d) })
+	}
+	k.Run(3 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want exactly the two events <= 3s", fired)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+	k.Run(10 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("second Run did not drain remaining event; fired=%v", fired)
+	}
+}
+
+func TestSchedulingInsideHandler(t *testing.T) {
+	k := New(1)
+	var at []Time
+	k.After(time.Second, func() {
+		k.After(time.Second, func() { at = append(at, k.Now()) })
+	})
+	k.RunAll()
+	if len(at) != 1 || at[0] != 2*time.Second {
+		t.Fatalf("nested event at %v, want [2s]", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := New(1)
+	k.After(2*time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		k.At(time.Second, func() {})
+	})
+	k.RunAll()
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	k := New(1)
+	n := 0
+	for i := 1; i <= 5; i++ {
+		k.After(time.Duration(i)*time.Second, func() {
+			n++
+			if n == 2 {
+				k.Stop()
+			}
+		})
+	}
+	k.RunAll()
+	if n != 2 {
+		t.Fatalf("executed %d events after Stop, want 2", n)
+	}
+	// A fresh Run resumes.
+	k.RunAll()
+	if n != 5 {
+		t.Fatalf("resume executed %d total, want 5", n)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) []int64 {
+		k := New(seed)
+		var out []int64
+		var step func()
+		step = func() {
+			out = append(out, int64(k.Now()), k.Rand().Int63n(1000))
+			if len(out) < 200 {
+				k.After(time.Duration(1+k.Rand().Intn(100))*time.Millisecond, step)
+			}
+		}
+		k.After(time.Millisecond, step)
+		k.RunAll()
+		return out
+	}
+	a, b := trace(42), trace(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := trace(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestTickerPeriodAndStop(t *testing.T) {
+	k := New(1)
+	var ticks []Time
+	tk := NewTicker(k, 5*time.Second, func() { ticks = append(ticks, k.Now()) })
+	tk.Start()
+	k.After(21*time.Second, func() { tk.Stop() })
+	k.Run(time.Hour)
+	if len(ticks) != 4 {
+		t.Fatalf("got %d ticks %v, want 4", len(ticks), ticks)
+	}
+	for i, at := range ticks {
+		want := time.Duration(i+1) * 5 * time.Second
+		if at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+	if tk.Running() {
+		t.Fatal("ticker still running after Stop")
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	k := New(1)
+	n := 0
+	var tk *Ticker
+	tk = NewTicker(k, time.Second, func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	tk.Start()
+	k.Run(time.Minute)
+	if n != 3 {
+		t.Fatalf("ticks = %d, want 3", n)
+	}
+}
+
+func TestTickerRestart(t *testing.T) {
+	k := New(1)
+	n := 0
+	tk := NewTicker(k, time.Second, func() { n++ })
+	tk.Start()
+	k.Run(3 * time.Second)
+	tk.Stop()
+	tk.Start()
+	k.Run(6 * time.Second)
+	if n != 6 {
+		t.Fatalf("ticks = %d, want 6 (3 before restart, 3 after)", n)
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in sorted order
+// and the clock ends at the max delay.
+func TestPropertyFiringOrderSorted(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		if len(delaysMs) == 0 {
+			return true
+		}
+		k := New(7)
+		var fired []time.Duration
+		var max time.Duration
+		for _, ms := range delaysMs {
+			d := time.Duration(ms) * time.Millisecond
+			if d > max {
+				max = d
+			}
+			k.After(d, func() { fired = append(fired, k.Now()) })
+		}
+		k.RunAll()
+		if len(fired) != len(delaysMs) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return k.Now() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingCountsLiveEvents(t *testing.T) {
+	k := New(1)
+	e1 := k.After(time.Second, func() {})
+	k.After(2*time.Second, func() {})
+	if k.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", k.Pending())
+	}
+	e1.Cancel()
+	if k.Pending() != 1 {
+		t.Fatalf("pending after cancel = %d, want 1", k.Pending())
+	}
+}

@@ -1,0 +1,263 @@
+// Package vipl is a thin compatibility facade over the viasim provider
+// that exposes the VIA Provider Library call shapes the paper's PRESS
+// implementation programmed against — VipConnectRequest/VipConnectWait,
+// VipPostSend/VipPostRecv with descriptors, and completion retrieval — so
+// code structured like the original server maps directly onto the
+// simulator.
+//
+// The facade is deliberately faithful to the programming-model properties
+// §6.3 worries about: the caller owns descriptor and buffer management,
+// receive descriptors must be pre-posted or deliveries are refused, and
+// errors arrive asynchronously as completions with error status. It is
+// exactly the "more complex and unfamiliar programming model" the paper
+// prices into its pessimistic VIA fault loads.
+package vipl
+
+import (
+	"errors"
+	"fmt"
+
+	"vivo/internal/comm"
+	"vivo/internal/viasim"
+)
+
+// Status is a descriptor completion status.
+type Status int
+
+const (
+	// StatusSuccess: the transfer completed.
+	StatusSuccess Status = iota
+	// StatusFormatError: descriptor validation failed (bad parameters).
+	StatusFormatError
+	// StatusTransportError: the connection broke under the descriptor.
+	StatusTransportError
+)
+
+// String returns the VIPL-ish status name.
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "VIP_SUCCESS"
+	case StatusFormatError:
+		return "VIP_ERROR_FORMAT"
+	case StatusTransportError:
+		return "VIP_ERROR_TRANSPORT"
+	default:
+		return fmt.Sprintf("VIP_STATUS(%d)", int(s))
+	}
+}
+
+// Descriptor is one send or receive work request. The application fills
+// Length (and the fault-injection fields mimic corrupted pointers); the
+// provider fills Status and, on reception, Payload.
+type Descriptor struct {
+	// Length is the transfer size in bytes (the posted buffer segment
+	// size for receives).
+	Length int
+	// Payload carries the application data by reference.
+	Payload any
+	// Status is filled when the descriptor completes.
+	Status Status
+
+	// Fault-model fields, mirroring comm.SendParams: the injector (or a
+	// buggy caller) can corrupt a send descriptor.
+	NullPtr    bool
+	PtrOffset  int
+	SizeOffset int
+
+	done bool
+}
+
+// Done reports whether the descriptor has completed.
+func (d *Descriptor) Done() bool { return d.done }
+
+// Vi is a connected Virtual Interface with caller-managed descriptor
+// queues.
+type Vi struct {
+	vi *viasim.VI
+
+	recvQ []*Descriptor // pre-posted receive descriptors, FIFO
+	sendC []*Descriptor // completed sends awaiting VipSendDone
+	recvC []*Descriptor // completed receives awaiting VipRecvDone
+
+	// Dropped counts deliveries refused because no receive descriptor
+	// was posted — the buffer-management burden VIA places on the
+	// application.
+	Dropped int
+
+	// OnNotify, if set, is invoked whenever a completion is appended
+	// (send or receive) — the facade's stand-in for VipCQNotify.
+	OnNotify func()
+
+	disconnected func()
+}
+
+// ErrNotConnected is returned when posting to a dead VI.
+var ErrNotConnected = errors.New("vipl: VI not connected")
+
+// Nic wraps the simulated provider for one node.
+type Nic struct {
+	nic *viasim.NIC
+}
+
+// VipOpenNic opens the node's provider instance.
+func VipOpenNic(n *viasim.NIC) *Nic { return &Nic{nic: n} }
+
+// VipConnectWait registers the passive side: accept is invoked with each
+// established VI (the VipConnectWait/VipConnectAccept pair collapsed, as
+// in PRESS's connection setup loop).
+func (n *Nic) VipConnectWait(accept func(*Vi)) {
+	n.nic.Listen(func(v *viasim.VI) {
+		accept(wrap(v))
+	})
+}
+
+// VipConnectRequest starts an active open to node dst; cb receives the
+// connected VI or the setup error.
+func (n *Nic) VipConnectRequest(dst int, cb func(*Vi, error)) {
+	n.nic.Dial(dst, func(v *viasim.VI, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(wrap(v), nil)
+	})
+}
+
+func wrap(v *viasim.VI) *Vi {
+	w := &Vi{vi: v}
+	v.Handler = viasim.Handler{
+		OnMessage: func(_ *viasim.VI, d *viasim.Delivered) {
+			w.deliver(d)
+		},
+		OnError: func(_ *viasim.VI, err error) {
+			// Asynchronous error completion: surface it on the next
+			// posted descriptor, as the hardware would.
+			w.completeError(StatusFormatError)
+		},
+		OnBreak: func(_ *viasim.VI, err error) {
+			w.completeError(StatusTransportError)
+			if w.disconnected != nil {
+				w.disconnected()
+			}
+		},
+	}
+	return w
+}
+
+// OnDisconnect registers a callback for fail-stop connection breaks.
+func (w *Vi) OnDisconnect(fn func()) { w.disconnected = fn }
+
+// VipPostRecv pre-posts a receive descriptor. Without posted descriptors,
+// arriving messages are dropped (and counted) — pre-posting enough of
+// them is the application's job.
+func (w *Vi) VipPostRecv(d *Descriptor) error {
+	if !w.vi.Established() {
+		return ErrNotConnected
+	}
+	d.done = false
+	w.recvQ = append(w.recvQ, d)
+	return nil
+}
+
+// VipPostSend posts a send descriptor. RemoteWrite selects VIA remote
+// memory write semantics. Completion (success or error) is retrieved with
+// VipSendDone.
+func (w *Vi) VipPostSend(d *Descriptor, remoteWrite bool) error {
+	if !w.vi.Established() {
+		return ErrNotConnected
+	}
+	d.done = false
+	err := w.vi.Send(comm.SendParams{
+		Msg:        comm.Message{Kind: 0, Size: d.Length, Payload: d.Payload},
+		NullPtr:    d.NullPtr,
+		PtrOffset:  d.PtrOffset,
+		SizeOffset: d.SizeOffset,
+	}, remoteWrite)
+	switch {
+	case err == nil:
+		// The descriptor will complete successfully unless an error
+		// completion overtakes it; optimistically complete now (the
+		// simulator reports failures through OnError/OnBreak).
+		d.Status = StatusSuccess
+		d.done = true
+		w.sendC = append(w.sendC, d)
+		w.notify()
+		return nil
+	case errors.Is(err, comm.ErrWouldBlock):
+		return comm.ErrWouldBlock
+	case errors.Is(err, comm.ErrBadDescriptor):
+		d.Status = StatusFormatError
+		d.done = true
+		w.sendC = append(w.sendC, d)
+		w.notify()
+		return nil
+	default:
+		return err
+	}
+}
+
+func (w *Vi) deliver(d *viasim.Delivered) {
+	if len(w.recvQ) == 0 {
+		// No receive descriptor posted: the message is lost to the
+		// application (the hardware-level credit is still returned so
+		// the channel itself survives).
+		w.Dropped++
+		d.Release()
+		return
+	}
+	desc := w.recvQ[0]
+	w.recvQ = w.recvQ[1:]
+	desc.Payload = d.Msg.Payload
+	desc.Length = d.Msg.Size
+	if d.Corrupt {
+		desc.Status = StatusFormatError
+	} else {
+		desc.Status = StatusSuccess
+	}
+	desc.done = true
+	w.recvC = append(w.recvC, desc)
+	d.Release()
+	w.notify()
+}
+
+func (w *Vi) completeError(st Status) {
+	d := &Descriptor{Status: st, done: true}
+	w.recvC = append(w.recvC, d)
+	w.notify()
+}
+
+func (w *Vi) notify() {
+	if w.OnNotify != nil {
+		w.OnNotify()
+	}
+}
+
+// VipSendDone dequeues the oldest completed send descriptor, or nil.
+func (w *Vi) VipSendDone() *Descriptor {
+	if len(w.sendC) == 0 {
+		return nil
+	}
+	d := w.sendC[0]
+	w.sendC = w.sendC[1:]
+	return d
+}
+
+// VipRecvDone dequeues the oldest completed receive descriptor, or nil.
+func (w *Vi) VipRecvDone() *Descriptor {
+	if len(w.recvC) == 0 {
+		return nil
+	}
+	d := w.recvC[0]
+	w.recvC = w.recvC[1:]
+	return d
+}
+
+// PostedRecvs returns the number of pre-posted receive descriptors.
+func (w *Vi) PostedRecvs() int { return len(w.recvQ) }
+
+// VipDisconnect tears the VI down, notifying the peer.
+func (w *Vi) VipDisconnect() { w.vi.Disconnect() }
+
+// Established reports whether the VI is usable.
+func (w *Vi) Established() bool { return w.vi.Established() }

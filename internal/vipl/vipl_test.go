@@ -1,0 +1,199 @@
+package vipl
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"vivo/internal/cluster"
+	"vivo/internal/comm"
+	"vivo/internal/osmodel"
+	"vivo/internal/sim"
+	"vivo/internal/viasim"
+)
+
+type rig struct {
+	k    *sim.Kernel
+	cl   *cluster.Cluster
+	nics []*Nic
+	os   []*osmodel.OS
+}
+
+func newRig(t *testing.T, cfg viasim.Config) *rig {
+	t.Helper()
+	k := sim.New(1)
+	cl := cluster.New(k, cluster.DefaultConfig())
+	r := &rig{k: k, cl: cl}
+	for i := 0; i < 2; i++ {
+		o := osmodel.New(k, cl.Node(i), 1<<30)
+		r.os = append(r.os, o)
+		r.nics = append(r.nics, VipOpenNic(viasim.NewNIC(k, cl, cl.Node(i), o, cfg)))
+	}
+	return r
+}
+
+func (r *rig) connect(t *testing.T) (*Vi, *Vi) {
+	t.Helper()
+	var a, b *Vi
+	r.nics[1].VipConnectWait(func(v *Vi) { b = v })
+	r.nics[0].VipConnectRequest(1, func(v *Vi, err error) {
+		if err != nil {
+			t.Fatalf("connect: %v", err)
+		}
+		a = v
+	})
+	r.k.Run(r.k.Now() + time.Second)
+	if a == nil || b == nil {
+		t.Fatal("VI not established")
+	}
+	return a, b
+}
+
+func TestPostedReceivesCompleteInOrder(t *testing.T) {
+	r := newRig(t, viasim.DefaultConfig())
+	a, b := r.connect(t)
+	for i := 0; i < 4; i++ {
+		if err := b.VipPostRecv(&Descriptor{Length: 8192}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := a.VipPostSend(&Descriptor{Length: 1000, Payload: i}, false); err != nil {
+			t.Fatalf("post send %d: %v", i, err)
+		}
+	}
+	r.k.Run(r.k.Now() + time.Second)
+	for i := 0; i < 4; i++ {
+		d := b.VipRecvDone()
+		if d == nil {
+			t.Fatalf("missing completion %d", i)
+		}
+		if d.Status != StatusSuccess || d.Payload != i || d.Length != 1000 {
+			t.Fatalf("completion %d = %+v", i, d)
+		}
+	}
+	if b.VipRecvDone() != nil {
+		t.Fatal("spurious completion")
+	}
+	// Sender-side completions too.
+	n := 0
+	for a.VipSendDone() != nil {
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("send completions = %d", n)
+	}
+}
+
+func TestUnpostedReceiveIsDropped(t *testing.T) {
+	r := newRig(t, viasim.DefaultConfig())
+	a, b := r.connect(t)
+	if err := a.VipPostSend(&Descriptor{Length: 100, Payload: "x"}, false); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run(r.k.Now() + time.Second)
+	if b.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (no receive descriptor posted)", b.Dropped)
+	}
+	if b.VipRecvDone() != nil {
+		t.Fatal("completion without a posted descriptor")
+	}
+	// The channel itself survives: post a descriptor and send again.
+	if err := b.VipPostRecv(&Descriptor{Length: 8192}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.VipPostSend(&Descriptor{Length: 100, Payload: "y"}, false); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run(r.k.Now() + time.Second)
+	if d := b.VipRecvDone(); d == nil || d.Payload != "y" {
+		t.Fatalf("second message lost: %+v", d)
+	}
+}
+
+func TestCorruptSendCompletesWithError(t *testing.T) {
+	r := newRig(t, viasim.DefaultConfig())
+	a, b := r.connect(t)
+	b.VipPostRecv(&Descriptor{Length: 8192})
+	if err := a.VipPostSend(&Descriptor{Length: 100, PtrOffset: 13}, false); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run(r.k.Now() + time.Second)
+	d := b.VipRecvDone()
+	if d == nil || d.Status != StatusFormatError {
+		t.Fatalf("corrupt delivery = %+v, want format error", d)
+	}
+}
+
+func TestSyncChecksRejectAtPostTime(t *testing.T) {
+	cfg := viasim.DefaultConfig()
+	cfg.SyncDescriptorChecks = true
+	r := newRig(t, cfg)
+	a, _ := r.connect(t)
+	d := &Descriptor{Length: 100, NullPtr: true}
+	if err := a.VipPostSend(d, false); err != nil {
+		t.Fatal(err)
+	}
+	got := a.VipSendDone()
+	if got == nil || got.Status != StatusFormatError {
+		t.Fatalf("send completion = %+v, want immediate format error", got)
+	}
+	if !a.Established() {
+		t.Fatal("robust layer must keep the channel alive")
+	}
+}
+
+func TestDisconnectCompletesWithTransportError(t *testing.T) {
+	r := newRig(t, viasim.DefaultConfig())
+	a, b := r.connect(t)
+	broken := false
+	b.OnDisconnect(func() { broken = true })
+	a.VipDisconnect()
+	r.k.Run(r.k.Now() + time.Second)
+	if !broken {
+		t.Fatal("peer did not observe the disconnect")
+	}
+	if d := b.VipRecvDone(); d == nil || d.Status != StatusTransportError {
+		t.Fatalf("expected a transport-error completion, got %+v", d)
+	}
+	if err := b.VipPostSend(&Descriptor{Length: 1}, false); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("post on dead VI = %v", err)
+	}
+}
+
+func TestNotifyFires(t *testing.T) {
+	r := newRig(t, viasim.DefaultConfig())
+	a, b := r.connect(t)
+	n := 0
+	b.OnNotify = func() { n++ }
+	b.VipPostRecv(&Descriptor{Length: 8192})
+	a.VipPostSend(&Descriptor{Length: 10, Payload: 1}, false)
+	r.k.Run(r.k.Now() + time.Second)
+	if n == 0 {
+		t.Fatal("no completion notification")
+	}
+}
+
+func TestFlowControlSurfacesWouldBlock(t *testing.T) {
+	r := newRig(t, viasim.DefaultConfig())
+	a, b := r.connect(t)
+	_ = b // b posts nothing and never releases... releases happen via deliver
+	// Consume all credits without the peer posting receives: messages are
+	// dropped-but-released, so credits DO return. To hit would-block,
+	// stop the fabric.
+	r.cl.Node(1).Link.Up = false
+	blocked := false
+	for i := 0; i < 100; i++ {
+		err := a.VipPostSend(&Descriptor{Length: 100}, false)
+		if errors.Is(err, comm.ErrWouldBlock) {
+			blocked = true
+			break
+		}
+		if err != nil {
+			break
+		}
+	}
+	if !blocked {
+		t.Fatal("never hit flow-control pushback with the fabric down")
+	}
+}

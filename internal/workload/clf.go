@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+)
+
+// The paper replays a trace gathered at Rutgers with all files normalised
+// to the mean size. LogTrace provides the equivalent ingestion path for
+// users with real access logs: it parses Common Log Format, numbers the
+// distinct URLs, and replays the request sequence (cyclically) against the
+// simulated cluster.
+
+// LogTrace replays the document-request sequence of a parsed access log.
+type LogTrace struct {
+	cfg      TraceConfig
+	requests []int // file id per request, in log order
+	pos      int
+}
+
+// ParseCommonLog reads Common Log Format lines ("host ident user [time]
+// \"METHOD /path PROTO\" status bytes") and builds a replayable trace.
+// Only GET requests with a parsable request line are kept; distinct paths
+// are assigned dense file ids in order of first appearance. fileSize is
+// the normalised document size (the paper's methodology), applied to every
+// file.
+func ParseCommonLog(r io.Reader, fileSize int) (*LogTrace, error) {
+	if fileSize <= 0 {
+		return nil, fmt.Errorf("workload: fileSize must be positive")
+	}
+	ids := make(map[string]int)
+	var reqs []int
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		path, ok := clfPath(line)
+		if !ok {
+			continue // malformed or non-GET lines are skipped, like any log replayer
+		}
+		id, seen := ids[path]
+		if !seen {
+			id = len(ids)
+			ids[path] = id
+		}
+		reqs = append(reqs, id)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading log: %w", err)
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("workload: no usable GET requests in log")
+	}
+	return &LogTrace{
+		cfg: TraceConfig{
+			Files:    len(ids),
+			FileSize: fileSize,
+			ZipfS:    0, // not synthetic
+		},
+		requests: reqs,
+	}, nil
+}
+
+// clfPath extracts the request path from one CLF line.
+func clfPath(line string) (string, bool) {
+	// The request is the first double-quoted field.
+	i := strings.IndexByte(line, '"')
+	if i < 0 {
+		return "", false
+	}
+	j := strings.IndexByte(line[i+1:], '"')
+	if j < 0 {
+		return "", false
+	}
+	req := line[i+1 : i+1+j]
+	parts := strings.Fields(req)
+	if len(parts) < 2 || parts[0] != "GET" {
+		return "", false
+	}
+	return parts[1], true
+}
+
+// Config returns the trace parameters (Files is the distinct URL count).
+func (t *LogTrace) Config() TraceConfig { return t.cfg }
+
+// Len returns the number of requests in the log.
+func (t *LogTrace) Len() int { return len(t.requests) }
+
+// Next returns the next file id, cycling when the log is exhausted (the
+// paper's clients replay the trace continuously to keep throughput
+// stable).
+func (t *LogTrace) Next() int {
+	f := t.requests[t.pos]
+	t.pos++
+	if t.pos == len(t.requests) {
+		t.pos = 0
+	}
+	return f
+}
+
+// Reset rewinds the replay position.
+func (t *LogTrace) Reset() { t.pos = 0 }
+
+// Sampler is the interface Clients needs from a trace: both the synthetic
+// Zipf Trace and a replayed LogTrace satisfy it.
+type Sampler interface {
+	Next() int
+	Config() TraceConfig
+}
+
+var (
+	_ Sampler = (*Trace)(nil)
+	_ Sampler = (*LogTrace)(nil)
+)
+
+// SynthesizeLog writes n CLF lines over the given number of distinct
+// documents with Zipf popularity — a convenience for demos and tests that
+// want a "real log file" shaped input.
+func SynthesizeLog(w io.Writer, n, files int, rng *rand.Rand) error {
+	tr := NewTrace(TraceConfig{Files: files, FileSize: 8192, ZipfS: 1.2}, rng)
+	for i := 0; i < n; i++ {
+		f := tr.Next()
+		_, err := fmt.Fprintf(w,
+			"10.0.%d.%d - - [01/Jan/2002:00:%02d:%02d -0500] \"GET /doc/%d.html HTTP/1.0\" 200 8192\n",
+			rng.Intn(256), rng.Intn(256), i/60%60, i%60, f)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

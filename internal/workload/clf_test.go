@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"vivo/internal/metrics"
+	"vivo/internal/sim"
+)
+
+const sampleLog = `10.0.0.1 - - [01/Jan/2002:00:00:01 -0500] "GET /index.html HTTP/1.0" 200 8192
+10.0.0.2 - - [01/Jan/2002:00:00:02 -0500] "GET /a.html HTTP/1.0" 200 8192
+10.0.0.1 - - [01/Jan/2002:00:00:03 -0500] "GET /index.html HTTP/1.0" 200 8192
+10.0.0.3 - - [01/Jan/2002:00:00:04 -0500] "POST /form HTTP/1.0" 200 10
+garbage line without quotes
+10.0.0.4 - - [01/Jan/2002:00:00:05 -0500] "GET /b.html HTTP/1.0" 404 0
+`
+
+func TestParseCommonLog(t *testing.T) {
+	lt, err := ParseCommonLog(strings.NewReader(sampleLog), 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Config().Files != 3 {
+		t.Fatalf("distinct files = %d, want 3 (POST and garbage skipped)", lt.Config().Files)
+	}
+	if lt.Len() != 4 {
+		t.Fatalf("requests = %d, want 4 GETs", lt.Len())
+	}
+	// First appearance order: index.html=0, a.html=1, b.html=2.
+	want := []int{0, 1, 0, 2}
+	for i, w := range want {
+		if got := lt.Next(); got != w {
+			t.Fatalf("request %d = %d, want %d", i, got, w)
+		}
+	}
+	// Replay cycles.
+	if got := lt.Next(); got != 0 {
+		t.Fatalf("cycled request = %d, want 0", got)
+	}
+	lt.Reset()
+	if got := lt.Next(); got != 0 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestParseCommonLogErrors(t *testing.T) {
+	if _, err := ParseCommonLog(strings.NewReader(""), 8192); err == nil {
+		t.Fatal("empty log accepted")
+	}
+	if _, err := ParseCommonLog(strings.NewReader("no get lines here\n"), 8192); err == nil {
+		t.Fatal("log without GETs accepted")
+	}
+	if _, err := ParseCommonLog(strings.NewReader(sampleLog), 0); err == nil {
+		t.Fatal("zero file size accepted")
+	}
+}
+
+func TestSynthesizeLogRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	rng := rand.New(rand.NewSource(5))
+	if err := SynthesizeLog(&buf, 500, 100, rng); err != nil {
+		t.Fatal(err)
+	}
+	lt, err := ParseCommonLog(&buf, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Len() != 500 {
+		t.Fatalf("requests = %d, want 500", lt.Len())
+	}
+	if lt.Config().Files < 10 || lt.Config().Files > 100 {
+		t.Fatalf("distinct files = %d, want a plausible subset of 100", lt.Config().Files)
+	}
+}
+
+func TestClientsAcceptLogTrace(t *testing.T) {
+	var buf bytes.Buffer
+	rng := rand.New(rand.NewSource(6))
+	if err := SynthesizeLog(&buf, 200, 50, rng); err != nil {
+		t.Fatal(err)
+	}
+	lt, err := ParseCommonLog(&buf, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.New(9)
+	rec := metrics.NewRecorder(k, time.Second)
+	be := &fakeBackend{k: k, result: Accepted, latency: time.Millisecond}
+	cl := NewClients(k, DefaultClients(100, 4), lt, be, rec)
+	cl.Start()
+	k.Run(5 * time.Second)
+	served, _ := rec.Totals()
+	if served == 0 {
+		t.Fatal("no requests served from a replayed log")
+	}
+	for _, r := range be.submits {
+		if r.File < 0 || r.File >= lt.Config().Files {
+			t.Fatalf("file id %d out of range", r.File)
+		}
+	}
+}
