@@ -1,0 +1,41 @@
+# Tier-1 verification and CI targets. `make verify` is the gate every
+# change must pass; `make ci` adds vet and the race detector over the
+# packages with concurrency (the parallel campaign engine and the
+# simulation kernel it fans out).
+
+GO ?= go
+
+.PHONY: all build test verify vet race race-fast ci bench-campaign
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1: the repo's baseline gate.
+verify: build test
+
+vet:
+	$(GO) vet ./...
+
+# The campaign engine runs experiments concurrently; keep it race-clean.
+# The race detector slows the simulations ~10x, so give the run headroom
+# (about 25 minutes on one core; much less with more).
+race:
+	$(GO) test -race -timeout 45m ./internal/experiments/... ./internal/sim/...
+
+# Just the parallel-engine tests under the race detector — the quick
+# iteration loop while touching pool.go / campaign.go.
+race-fast:
+	$(GO) test -race -timeout 30m ./internal/experiments/ \
+		-run 'TestForEach|TestRunFaultRepeatable|TestCampaignParallel|TestConcurrent|TestRunCampaignMemo|TestSameOptions'
+
+ci: vet verify race
+
+# Serial vs parallel full-campaign wall clock (see EXPERIMENTS.md,
+# "Runtime"). Each iteration is a complete 60-run campaign.
+bench-campaign:
+	$(GO) test -run '^$$' -bench 'BenchmarkCampaign(Serial|Parallel4)' -benchtime 1x -timeout 45m .

@@ -143,6 +143,32 @@ func BenchmarkExtension(b *testing.B) {
 	}
 }
 
+// ---- Campaign engine: serial vs parallel ----
+
+// benchCampaign runs complete phase-1 campaigns at the given worker
+// count. Seeds are varied per iteration (and offset per worker count) so
+// every iteration measures a real campaign rather than a memoized one;
+// determinism guarantees the serial and parallel variants still do
+// identical work per seed.
+func benchCampaign(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		opt := experiments.Quick()
+		opt.Parallel = workers
+		opt.Seed = int64(1_000_000*workers + i + 2)
+		experiments.RunCampaign(opt)
+	}
+}
+
+// BenchmarkCampaignSerial measures the full 60-run campaign on one
+// worker — the pre-parallel-engine behaviour.
+func BenchmarkCampaignSerial(b *testing.B) { benchCampaign(b, 1) }
+
+// BenchmarkCampaignParallel4 measures the same campaign fanned out over
+// four workers; on a ≥4-core machine it should run ≥2× faster than
+// BenchmarkCampaignSerial (EXPERIMENTS.md records reference numbers).
+func BenchmarkCampaignParallel4(b *testing.B) { benchCampaign(b, 4) }
+
 // ---- Ablations (DESIGN.md §6) ----
 
 // BenchmarkAblationHeartbeat sweeps the heartbeat timeout and reports the

@@ -1,10 +1,13 @@
 // Command faultinject runs one phase-1 fault-injection experiment —
 // version × fault — and prints the throughput timeline with injection,
 // detection and recovery marks, plus the extracted 7-stage parameters.
+// With -fault all it runs the version's entire Table-2 fault column,
+// fanning the 11 independent simulations out across -parallel workers
+// (default: GOMAXPROCS), and prints the one-line stage summary of each.
 //
 // Usage:
 //
-//	faultinject [-version TCP-PRESS] [-fault link-down] [-full] [-seed 1]
+//	faultinject [-version TCP-PRESS] [-fault link-down|all] [-full] [-seed 1] [-parallel N]
 package main
 
 import (
@@ -19,9 +22,10 @@ import (
 
 func main() {
 	versionName := flag.String("version", "TCP-PRESS", "PRESS version")
-	faultName := flag.String("fault", "link-down", "fault to inject (see Table 2 names)")
+	faultName := flag.String("fault", "link-down", "fault to inject (see Table 2 names), or \"all\" for the whole column")
 	full := flag.Bool("full", false, "paper-scale deployment (slower)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	parallel := flag.Int("parallel", 0, "concurrent runs with -fault all (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	csv := flag.Bool("csv", false, "emit the timeline as CSV instead of text")
 	flag.Parse()
 
@@ -35,6 +39,21 @@ func main() {
 	if !found {
 		log.Fatalf("unknown version %q", *versionName)
 	}
+
+	opt := experiments.Quick()
+	if *full {
+		opt = experiments.Full()
+	}
+	opt.Seed = *seed
+	opt.Parallel = *parallel
+
+	if *faultName == "all" {
+		for _, fr := range experiments.RunFaultColumn(version, opt) {
+			fmt.Println(fr.String())
+		}
+		return
+	}
+
 	var fault faults.Type
 	found = false
 	for _, ft := range faults.AllTypes {
@@ -47,14 +66,8 @@ func main() {
 		for _, ft := range faults.AllTypes {
 			names = append(names, ft.String())
 		}
-		log.Fatalf("unknown fault %q; available: %v", *faultName, names)
+		log.Fatalf("unknown fault %q; available: %v (or \"all\")", *faultName, names)
 	}
-
-	opt := experiments.Quick()
-	if *full {
-		opt = experiments.Full()
-	}
-	opt.Seed = *seed
 
 	fr := experiments.RunFault(version, fault, opt)
 	if *csv {

@@ -10,7 +10,12 @@
 //
 // Usage:
 //
-//	pressbench [-full] [-seed 1] [-only table1,fig2,...]
+//	pressbench [-full] [-seed 1] [-parallel N] [-only table1,fig2,...]
+//
+// The campaign's 60 runs (5 versions × 11 faults + 5 baselines) are
+// independent simulations and fan out across -parallel workers (default:
+// GOMAXPROCS). The worker count changes wall-clock time only — a given
+// seed produces bit-identical results at any setting.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 func main() {
 	full := flag.Bool("full", false, "paper-scale deployment and loads")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	parallel := flag.Int("parallel", 0, "concurrent experiment runs (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,crossover,extension,sweep,scaling,multifault")
 	flag.Parse()
 
@@ -34,6 +40,7 @@ func main() {
 		opt = experiments.Full()
 	}
 	opt.Seed = *seed
+	opt.Parallel = *parallel
 
 	want := map[string]bool{}
 	if *only != "" {

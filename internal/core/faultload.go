@@ -135,9 +135,13 @@ func DefaultFaultLoad(appMTTF time.Duration) FaultLoad {
 }
 
 func appShareTotal() float64 {
+	// Sum in the fixed Classes order, not map order: float addition is
+	// not associative, so a randomized iteration order flips the total
+	// by an ulp between runs (0.99 vs 0.99000…01), which shifts every
+	// derived MTTF by a nanosecond and breaks run-to-run determinism.
 	t := 0.0
-	for _, s := range AppFaultShare {
-		t += s
+	for _, c := range Classes {
+		t += AppFaultShare[c]
 	}
 	return t
 }

@@ -27,40 +27,81 @@ var faultClassOf = map[faults.Type]core.FaultClass{
 
 // Campaign is the full phase-1 measurement matrix: every PRESS version
 // under every fault, plus each version's normal-operation throughput. It
-// is the input to every phase-2 figure.
+// is the input to every phase-2 figure. Opt holds the options the
+// campaign was measured with, normalized by memoKey (Parallel is zeroed:
+// the worker count cannot influence campaign contents).
 type Campaign struct {
 	Opt  Options
 	Tn   map[press.Version]float64
 	Meas map[press.Version]map[core.FaultClass]core.Measured
 }
 
+// campaignEntry is one memoized campaign: the mutex-protected cache maps
+// options to entries, and the entry's Once runs the measurement exactly
+// once, outside the cache lock. Concurrent callers with the same options
+// share one computation; callers with different options proceed
+// independently rather than serializing behind a campaign-wide lock.
+type campaignEntry struct {
+	once sync.Once
+	c    *Campaign
+}
+
 var (
 	campaignMu    sync.Mutex
-	campaignCache = map[Options]*Campaign{}
+	campaignCache = map[Options]*campaignEntry{}
 )
 
-// RunCampaign measures (or returns the memoized) campaign for the options.
+// RunCampaign measures (or returns the memoized) campaign for the
+// options. The cache key ignores Options.Parallel: the worker count never
+// changes results, only wall-clock time, so a campaign computed at one
+// setting is returned verbatim for any other.
 func RunCampaign(opt Options) *Campaign {
+	key := opt.memoKey()
 	campaignMu.Lock()
-	defer campaignMu.Unlock()
-	if c, ok := campaignCache[opt]; ok {
-		return c
+	e, ok := campaignCache[key]
+	if !ok {
+		e = &campaignEntry{}
+		campaignCache[key] = e
 	}
+	campaignMu.Unlock()
+	e.once.Do(func() { e.c = runCampaign(opt) })
+	return e.c
+}
+
+// runCampaign executes the full phase-1 matrix — one Tn measurement plus
+// len(faults.AllTypes) fault injections per version — fanned out across
+// opt.workers() goroutines. Each cell simulates on a private sim.Kernel
+// seeded only by (opt.Seed, version, fault), and every result lands in a
+// slot indexed by (version, fault) before the maps are assembled, so the
+// returned campaign is bit-identical at any worker count.
+func runCampaign(opt Options) *Campaign {
+	versions := press.Versions
+	nf := len(faults.AllTypes)
+	perVersion := 1 + nf // slot 0: Tn; slots 1..nf: fault runs
+	tns := make([]float64, len(versions))
+	meas := make([]core.Measured, len(versions)*nf)
+	forEach(len(versions)*perVersion, opt.workers(), func(i int) {
+		vi, job := i/perVersion, i%perVersion
+		v := versions[vi]
+		if job == 0 {
+			tns[vi] = measureTn(v, opt)
+			return
+		}
+		meas[vi*nf+job-1] = RunFault(v, faults.AllTypes[job-1], opt).Measured
+	})
 	c := &Campaign{
-		Opt:  opt,
-		Tn:   make(map[press.Version]float64),
-		Meas: make(map[press.Version]map[core.FaultClass]core.Measured),
+		Opt:  opt.memoKey(),
+		Tn:   make(map[press.Version]float64, len(versions)),
+		Meas: make(map[press.Version]map[core.FaultClass]core.Measured, len(versions)),
 	}
-	for _, v := range press.Versions {
-		c.Tn[v] = measureTn(v, opt)
-		byClass := make(map[core.FaultClass]core.Measured)
-		for _, ft := range faults.AllTypes {
-			run := RunFault(v, ft, opt)
-			byClass[faultClassOf[ft]] = run.Measured
+	for vi, v := range versions {
+		c.Tn[v] = tns[vi]
+		byClass := make(map[core.FaultClass]core.Measured, nf)
+		for fi, ft := range faults.AllTypes {
+			byClass[faultClassOf[ft]] = meas[vi*nf+fi]
 		}
 		c.Meas[v] = byClass
 	}
-	campaignCache[opt] = c
 	return c
 }
 

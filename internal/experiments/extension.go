@@ -46,12 +46,21 @@ type ExtensionResult struct {
 func RunExtension(opt Options) ExtensionResult {
 	c := RunCampaign(opt)
 
-	// Phase 1 for the extension version.
-	robustTn := measureTn(press.RobustPress, opt)
-	robustMeas := make(map[core.FaultClass]core.Measured)
-	for _, ft := range faults.AllTypes {
-		run := RunFault(press.RobustPress, ft, opt)
-		robustMeas[faultClassOf[ft]] = run.Measured
+	// Phase 1 for the extension version: the Tn measurement and the 11
+	// fault runs fan out exactly like a campaign slice.
+	var robustTn float64
+	nf := len(faults.AllTypes)
+	meas := make([]core.Measured, nf)
+	forEach(1+nf, opt.workers(), func(i int) {
+		if i == 0 {
+			robustTn = measureTn(press.RobustPress, opt)
+			return
+		}
+		meas[i-1] = RunFault(press.RobustPress, faults.AllTypes[i-1], opt).Measured
+	})
+	robustMeas := make(map[core.FaultClass]core.Measured, nf)
+	for fi, ft := range faults.AllTypes {
+		robustMeas[faultClassOf[ft]] = meas[fi]
 	}
 	ext := &Campaign{
 		Opt:  opt,

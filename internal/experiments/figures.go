@@ -22,15 +22,17 @@ type Table1Row struct {
 	Measured float64
 }
 
-// Table1 measures the near-peak throughput of all five versions.
+// Table1 measures the near-peak throughput of all five versions, one
+// worker per version (bounded by opt.Parallel).
 func Table1(opt Options) []Table1Row {
-	rows := make([]Table1Row, 0, len(press.Versions))
-	for _, v := range press.Versions {
+	rows := make([]Table1Row, len(press.Versions))
+	forEach(len(press.Versions), opt.workers(), func(i int) {
+		v := press.Versions[i]
 		k := sim.New(opt.Seed*10 + int64(v))
 		got := press.MeasureThroughput(k, opt.Config(v),
 			1.3*press.Table1Throughput(v), 10*time.Second, 30*time.Second)
-		rows = append(rows, Table1Row{Version: v, Paper: press.Table1Throughput(v), Measured: got})
-	}
+		rows[i] = Table1Row{Version: v, Paper: press.Table1Throughput(v), Measured: got}
+	})
 	return rows
 }
 
@@ -76,10 +78,10 @@ func Figure5(opt Options) []FaultRun {
 }
 
 func timelines(opt Options, ft faults.Type, versions ...press.Version) []FaultRun {
-	out := make([]FaultRun, 0, len(versions))
-	for _, v := range versions {
-		out = append(out, RunFault(v, ft, opt))
-	}
+	out := make([]FaultRun, len(versions))
+	forEach(len(versions), opt.workers(), func(i int) {
+		out[i] = RunFault(versions[i], ft, opt)
+	})
 	return out
 }
 

@@ -78,29 +78,45 @@ func lossRun(v press.Version, opt Options, inject func(in *faults.Injector)) (se
 }
 
 // MultiFaultStudy measures superposition error for the given version.
+// Every lossRun — the no-fault baseline plus three runs per scenario —
+// simulates on its own kernel with the same derived seed, so all of them
+// fan out together under opt.Parallel workers.
 func MultiFaultStudy(v press.Version, opt Options) []MultiFaultResult {
 	injectAt := opt.Stabilize
-	var out []MultiFaultResult
-	base, baseFail := lossRun(v, opt, nil)
-	baseTotal := float64(base + baseFail)
-	baseLoss := float64(baseFail)
-	for _, sc := range DefaultMultiFaultScenarios() {
-		sc := sc
-		sA, fA := lossRun(v, opt, func(in *faults.Injector) {
-			in.Schedule(sc.A, sc.NodeA, injectAt, opt.FaultDuration)
-		})
-		sB, fB := lossRun(v, opt, func(in *faults.Injector) {
-			in.Schedule(sc.B, sc.NodeB, injectAt+sc.Offset, opt.FaultDuration)
-		})
-		sAB, fAB := lossRun(v, opt, func(in *faults.Injector) {
-			in.Schedule(sc.A, sc.NodeA, injectAt, opt.FaultDuration)
-			in.Schedule(sc.B, sc.NodeB, injectAt+sc.Offset, opt.FaultDuration)
-		})
-		availAB := float64(sAB) / float64(sAB+fAB)
+	scenarios := DefaultMultiFaultScenarios()
+	type counts struct{ served, failed int64 }
+	// Job 0 is the baseline; jobs 3i+1..3i+3 are scenario i's A-only,
+	// B-only and overlapping runs.
+	runs := make([]counts, 1+3*len(scenarios))
+	forEach(len(runs), opt.workers(), func(j int) {
+		var inject func(in *faults.Injector)
+		if j > 0 {
+			sc := scenarios[(j-1)/3]
+			scheduleA := func(in *faults.Injector) { in.Schedule(sc.A, sc.NodeA, injectAt, opt.FaultDuration) }
+			scheduleB := func(in *faults.Injector) { in.Schedule(sc.B, sc.NodeB, injectAt+sc.Offset, opt.FaultDuration) }
+			switch (j - 1) % 3 {
+			case 0:
+				inject = scheduleA
+			case 1:
+				inject = scheduleB
+			case 2:
+				inject = func(in *faults.Injector) { scheduleA(in); scheduleB(in) }
+			}
+		}
+		s, f := lossRun(v, opt, inject)
+		runs[j] = counts{served: s, failed: f}
+	})
+	base := runs[0]
+	baseTotal := float64(base.served + base.failed)
+	baseLoss := float64(base.failed)
+	out := make([]MultiFaultResult, 0, len(scenarios))
+	for i, sc := range scenarios {
+		a, b, ab := runs[3*i+1], runs[3*i+2], runs[3*i+3]
+		availAB := float64(ab.served) / float64(ab.served+ab.failed)
 		// Superposition: each single run's EXTRA loss relative to the
 		// no-fault baseline, added together.
-		lossA := float64(fA) - baseLoss
-		lossB := float64(fB) - baseLoss
+		lossA := float64(a.failed) - baseLoss
+		lossB := float64(b.failed) - baseLoss
 		superpose := 1 - (baseLoss+lossA+lossB)/baseTotal
 		out = append(out, MultiFaultResult{
 			Version:   v,
@@ -109,7 +125,6 @@ func MultiFaultStudy(v press.Version, opt Options) []MultiFaultResult {
 			Superpose: superpose,
 			Error:     superpose - availAB,
 		})
-		_, _ = sA, sB
 	}
 	return out
 }

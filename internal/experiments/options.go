@@ -1,11 +1,7 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation: it runs phase-1 fault-injection experiments on the simulated
-// PRESS deployment, extracts 7-stage models, assembles phase-2
-// performability models, and renders the same rows and series the paper
-// reports (Table 1, Figures 2-10, the ≈4× crossover claim).
 package experiments
 
 import (
+	"runtime"
 	"time"
 
 	"vivo/internal/core"
@@ -40,8 +36,32 @@ type Options struct {
 	// targets (our cost model reproduces them within 0.5%).
 	MeasureTn bool
 
+	// Parallel bounds the number of experiment runs executing
+	// concurrently (each on its own sim.Kernel). Zero or negative means
+	// runtime.GOMAXPROCS(0); 1 forces strictly serial execution. Every
+	// run derives its seed from Seed alone, so the worker count changes
+	// wall-clock time only: campaigns are bit-identical at any setting,
+	// and RunCampaign memoizes ignoring this field.
+	Parallel int
+
 	// Env supplies the phase-2 environmental durations.
 	Env core.Environment
+}
+
+// workers returns the effective worker-pool size for these options.
+func (o Options) workers() int {
+	if o.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallel
+}
+
+// memoKey normalizes the options for campaign memoization: Parallel does
+// not affect results (same seed ⇒ bit-identical campaign at any worker
+// count), so it must not split the cache.
+func (o Options) memoKey() Options {
+	o.Parallel = 0
+	return o
 }
 
 // Full returns paper-scale options (used by cmd/pressbench and recorded in

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The phase-1 matrix and the extension studies are embarrassingly
+// parallel: every experiment builds its own sim.Kernel from its own
+// derived seed and touches no shared state, so fanning runs out across
+// OS threads changes wall-clock time but not a single result bit.
+// forEach is the one fan-out primitive every driver in this package
+// uses; results are always written to index i of a pre-sized slice, so
+// assembly order — and therefore the assembled Campaign, study, or
+// figure — is identical at any worker count.
+
+// forEach invokes fn(0..n-1), running at most workers calls at a time.
+// workers <= 1 degenerates to a plain serial loop (no goroutines), which
+// is also the fallback for callers that want reproducible step-through
+// debugging. A panic in fn is re-raised on the calling goroutine.
+func forEach(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		panicv  any
+		paniced bool
+	)
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if !paniced {
+								paniced, panicv = true, r
+							}
+							mu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if paniced {
+		panic(panicv)
+	}
+}

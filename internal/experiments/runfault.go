@@ -99,6 +99,18 @@ func RunFault(v press.Version, ft faults.Type, opt Options) FaultRun {
 	}
 }
 
+// RunFaultColumn runs every Table-2 fault against one version — a single
+// column of the campaign matrix — fanning the independent runs out across
+// opt.Parallel workers. Results are ordered like faults.AllTypes and are
+// identical at any worker count.
+func RunFaultColumn(v press.Version, opt Options) []FaultRun {
+	out := make([]FaultRun, len(faults.AllTypes))
+	forEach(len(faults.AllTypes), opt.workers(), func(i int) {
+		out[i] = RunFault(v, faults.AllTypes[i], opt)
+	})
+	return out
+}
+
 // repairedTime locates the component-repair instant in the marks.
 func repairedTime(rec *metrics.Recorder, ft faults.Type, after sim.Time) (sim.Time, bool) {
 	if ft.Instantaneous() {

@@ -84,10 +84,14 @@ type ScaleRow struct {
 // Per-fault behaviour is approximated by the 4-node campaign measurement
 // with degraded-stage throughputs rescaled to (n-1)/n of the n-node
 // capacity; detection times are size-independent in PRESS.
+//
+// Each cluster size simulates on its own kernel (seeded by size), so the
+// sizes run concurrently under opt.Parallel workers.
 func ClusterScaling(c *Campaign, v press.Version, sizes []int, opt Options) []ScaleRow {
 	meas := c.Meas[v]
-	var out []ScaleRow
-	for _, n := range sizes {
+	out := make([]ScaleRow, len(sizes))
+	forEach(len(sizes), opt.workers(), func(i int) {
+		n := sizes[i]
 		cfg := opt.Config(v)
 		cfg.Nodes = n
 		// Keep per-node cache constant; grow the working set with the
@@ -119,8 +123,8 @@ func ClusterScaling(c *Campaign, v press.Version, sizes []int, opt Options) []Sc
 			behavior[class] = sp
 		}
 		m := core.Model{Tn: tn, Nodes: n, Behavior: behavior, Load: load}
-		out = append(out, ScaleRow{Nodes: n, Throughput: tn, Availability: m.Evaluate().AA})
-	}
+		out[i] = ScaleRow{Nodes: n, Throughput: tn, Availability: m.Evaluate().AA}
+	})
 	return out
 }
 

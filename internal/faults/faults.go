@@ -1,8 +1,3 @@
-// Package faults is the Mendosus-equivalent fault injector: it applies the
-// fault model of Table 2 — network hardware faults, node faults, operating
-// system resource exhaustion and application faults — to a live simulated
-// PRESS deployment, in real (virtual) time, and annotates the metrics
-// recorder with injection and repair marks used by stage extraction.
 package faults
 
 import (

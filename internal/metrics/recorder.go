@@ -7,6 +7,11 @@
 // successfully; Recorder implements exactly those two measures, plus the
 // timestamped marks (fault injected, fault detected, component repaired,
 // server reset) that phase 2 uses to segment a timeline into stages.
+//
+// A Recorder holds state for exactly one sim.Kernel and shares nothing
+// package-wide, so concurrent experiment runs (the parallel campaign
+// engine of internal/experiments) each own a private recorder; no
+// cross-run synchronization is needed or provided.
 package metrics
 
 import (

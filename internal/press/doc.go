@@ -1,0 +1,48 @@
+// Package press implements the PRESS cluster-based locality-conscious web
+// server of Carrera & Bianchini on top of the simulated TCP (tcpsim) and
+// VIA (viasim) substrates, in the five versions the paper studies
+// (Table 1) plus this repository's §7 extension, together with the
+// restart daemon and the deployment wiring that connects servers,
+// substrates, OS models and client workload.
+//
+// # The server
+//
+// Any node can receive a client request (round-robin DNS); the initial
+// node parses it and either serves it from its own cache/disk or forwards
+// it to the service node that caches the file, which returns the content.
+// Nodes broadcast cache insertions/evictions so everyone shares a view of
+// who caches what, and piggyback load on every intra-cluster message.
+// Failure detection is by broken connections (all versions) plus a
+// directed-ring heartbeat protocol (TCP-PRESS-HB only); recovery excludes
+// the failed node, and a rejoining node is re-integrated per the paper's
+// TCP or VIA join protocol. The server is fail-fast: unexpected
+// communication errors terminate the process, which the per-node daemon
+// then restarts.
+//
+// # Versions
+//
+// [Version] enumerates the builds: [TCPPress] (kernel TCP), [TCPPressHB]
+// (adds heartbeats), [VIAPress0] (VIA messages), [VIAPress3] (remote
+// writes and polling), [VIAPress5] (adds zero-copy, which pins the file
+// cache), and [RobustPress] — the communication layer §7 of the paper
+// proposes but never builds. [Versions] lists the paper's five in Table-1
+// order; [AllVersions] appends the extension.
+//
+// # Worked example
+//
+// A deployment is a [sim.Kernel], a [Config] for the chosen version, and
+// the wiring [NewDeployment] does; everything after that is virtual time:
+//
+//	k := sim.New(42)
+//	cfg := press.DefaultConfig(press.VIAPress5)
+//	d := press.NewDeployment(k, cfg)
+//	d.Start()
+//	d.WarmStart()                      // prepopulate caches
+//	k.Run(60 * time.Second)            // one simulated minute
+//
+// Drive it with the workload package (see examples/quickstart) or measure
+// its saturation throughput directly with [MeasureThroughput]. The fault
+// experiments of internal/experiments inject faults into a live
+// deployment via internal/faults and read reactions off the metrics
+// recorder.
+package press

@@ -35,7 +35,9 @@ func (s *Server) reconfigure(x int, announce bool) {
 	}
 	// Re-dispatch requests that were waiting on the departed service
 	// node; they will be served locally (disk) or by another cacher.
-	for id, p := range s.pending {
+	// Key order keeps the re-dispatch deterministic.
+	for _, id := range sortedKeys(s.pending) {
+		p := s.pending[id]
 		if p.svc == x {
 			delete(s.pending, id)
 			req := p.req
@@ -221,8 +223,8 @@ func (s *Server) giveUpJoin() {
 	// The paper's observed behaviour: the recovered node gives up and
 	// runs as an independent server until an operator intervenes.
 	s.joined = true
-	for j, pc := range s.joinPending {
-		pc.Close()
+	for _, j := range sortedKeys(s.joinPending) {
+		s.joinPending[j].Close()
 		delete(s.joinPending, j)
 	}
 	if s.cfg.Version.UsesVIA() {
@@ -231,8 +233,8 @@ func (s *Server) giveUpJoin() {
 		s.mark(fmt.Sprintf("join finalized with members %v", s.Members()))
 		return
 	}
-	for j, pc := range s.conns {
-		pc.Close()
+	for _, j := range sortedKeys(s.conns) {
+		s.conns[j].Close()
 		delete(s.conns, j)
 		delete(s.members, j)
 	}
@@ -374,8 +376,8 @@ func (s *Server) remergeTick() {
 		return
 	}
 	s.mark("remerge: abandoning partition to rejoin lower cluster")
-	for j, pc := range s.conns {
-		pc.Close()
+	for _, j := range sortedKeys(s.conns) {
+		s.conns[j].Close()
 		delete(s.conns, j)
 		delete(s.members, j)
 	}

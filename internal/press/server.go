@@ -1,8 +1,10 @@
 package press
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -188,6 +190,20 @@ func (s *Server) mark(label string) {
 // Alive reports whether this server incarnation is running.
 func (s *Server) Alive() bool { return s.alive }
 
+// sortedKeys returns a map's keys in ascending order. Every map loop
+// whose body has simulation side effects (closing channels, failing
+// requests, re-dispatching work) must iterate in key order: Go randomizes
+// map iteration, and a side-effect order that varies between runs makes
+// identically-seeded experiments diverge.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
 // Members returns the sorted current membership view.
 func (s *Server) Members() []int {
 	out := make([]int, 0, len(s.members))
@@ -223,15 +239,16 @@ func (s *Server) teardown() {
 		s.joinTimer.Cancel()
 	}
 	s.tr.unlisten()
-	for _, pc := range s.conns {
-		pc.Close()
+	for _, j := range sortedKeys(s.conns) {
+		s.conns[j].Close()
 	}
-	for _, pc := range s.joinPending {
-		pc.Close()
+	for _, j := range sortedKeys(s.joinPending) {
+		s.joinPending[j].Close()
 	}
 	s.conns = map[int]peerConn{}
 	s.joinPending = map[int]peerConn{}
-	for id, p := range s.pending {
+	for _, id := range sortedKeys(s.pending) {
+		p := s.pending[id]
 		delete(s.pending, id)
 		p.req.Fail(metrics.Refused)
 	}

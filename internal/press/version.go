@@ -1,20 +1,3 @@
-// Package press implements the PRESS cluster-based locality-conscious web
-// server of Carrera & Bianchini on top of the simulated TCP (tcpsim) and
-// VIA (viasim) substrates, in the five versions the paper studies
-// (Table 1), together with the restart daemon and the deployment wiring
-// that connects servers, substrates, OS models and client workload.
-//
-// Any node can receive a client request (round-robin DNS); the initial
-// node parses it and either serves it from its own cache/disk or forwards
-// it to the service node that caches the file, which returns the content.
-// Nodes broadcast cache insertions/evictions so everyone shares a view of
-// who caches what, and piggyback load on every intra-cluster message.
-// Failure detection is by broken connections (all versions) plus a
-// directed-ring heartbeat protocol (TCP-PRESS-HB only); recovery excludes
-// the failed node, and a rejoining node is re-integrated per the paper's
-// TCP or VIA join protocol. The server is fail-fast: unexpected
-// communication errors terminate the process, which the per-node daemon
-// then restarts.
 package press
 
 import "fmt"
