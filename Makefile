@@ -1,11 +1,12 @@
 # Tier-1 verification and CI targets. `make verify` is the gate every
-# change must pass; `make ci` adds vet and the race detector over the
+# change must pass; `make ci` adds vet, the race detector over the
 # packages with concurrency (the parallel campaign engine and the
-# simulation kernel it fans out).
+# simulation kernel it fans out), and the golden behaviour-preservation
+# test that pins Table 1 + the campaign matrix byte-for-byte.
 
 GO ?= go
 
-.PHONY: all build test verify vet race race-fast ci bench-campaign
+.PHONY: all build test verify vet race race-full race-fast golden ci bench-campaign
 
 all: verify
 
@@ -15,16 +16,21 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-1: the repo's baseline gate.
+# Tier-1: the repo's baseline gate. Includes the architecture-boundary
+# tests (arch_test.go) that keep tcpsim/viasim behind internal/substrate.
 verify: build test
 
 vet:
 	$(GO) vet ./...
 
 # The campaign engine runs experiments concurrently; keep it race-clean.
-# The race detector slows the simulations ~10x, so give the run headroom
-# (about 25 minutes on one core; much less with more).
+# The race detector slows the simulations ~10x, so the CI leg runs -short
+# (tests trim their simulated horizons; see testOpt in experiments_test.go)
+# and race-full keeps the untrimmed run for occasional deep checks.
 race:
+	$(GO) test -race -short -timeout 45m ./internal/experiments/... ./internal/sim/...
+
+race-full:
 	$(GO) test -race -timeout 45m ./internal/experiments/... ./internal/sim/...
 
 # Just the parallel-engine tests under the race detector — the quick
@@ -33,7 +39,16 @@ race-fast:
 	$(GO) test -race -timeout 30m ./internal/experiments/ \
 		-run 'TestForEach|TestRunFaultRepeatable|TestCampaignParallel|TestConcurrent|TestRunCampaignMemo|TestSameOptions'
 
-ci: vet verify race
+# Golden behaviour-preservation test: Table 1 plus the full quick-scale
+# campaign for seed 1, compared byte-for-byte against testdata. Needs its
+# own timeout budget (~15 minutes serial on one core), so it self-skips
+# under go test's default 10-minute deadline and runs here instead.
+# Regenerate after an intentional behaviour change with:
+#   go test ./internal/experiments -run TestGoldenSeed1 -update -timeout 60m
+golden:
+	$(GO) test ./internal/experiments -run TestGoldenSeed1 -timeout 60m -v
+
+ci: vet verify race golden
 
 # Serial vs parallel full-campaign wall clock (see EXPERIMENTS.md,
 # "Runtime"). Each iteration is a complete 60-run campaign.

@@ -1,0 +1,80 @@
+package vivo_test
+
+// Architecture-boundary test for the substrate seam. The press server
+// must speak to the network only through the internal/substrate SPI:
+// tcpsim and viasim are reachable solely via the adapter packages
+// internal/substrate/tcp and internal/substrate/via. This test walks the
+// real import graph (go list), so a stray import anywhere in the press
+// package fails CI rather than waiting for review to notice.
+
+import (
+	"encoding/json"
+	"os/exec"
+	"slices"
+	"testing"
+)
+
+const (
+	pkgPress     = "vivo/internal/press"
+	pkgSubstrate = "vivo/internal/substrate"
+	pkgTCPSim    = "vivo/internal/tcpsim"
+	pkgVIASim    = "vivo/internal/viasim"
+	pkgTCPAdapt  = "vivo/internal/substrate/tcp"
+	pkgVIAAdapt  = "vivo/internal/substrate/via"
+)
+
+// imports returns the package's direct imports, including those of its
+// test files — a test-only import would pierce the boundary just as well.
+func imports(t *testing.T, pkg string) []string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-json", pkg).Output()
+	if err != nil {
+		t.Fatalf("go list %s: %v", pkg, err)
+	}
+	var info struct {
+		Imports      []string
+		TestImports  []string
+		XTestImports []string
+	}
+	if err := json.Unmarshal(out, &info); err != nil {
+		t.Fatalf("decode go list output: %v", err)
+	}
+	all := append(info.Imports, info.TestImports...)
+	return append(all, info.XTestImports...)
+}
+
+func TestPressDoesNotImportSubstrateImplementations(t *testing.T) {
+	deps := imports(t, pkgPress)
+	for _, banned := range []string{pkgTCPSim, pkgVIASim} {
+		if slices.Contains(deps, banned) {
+			t.Errorf("%s imports %s directly; it must go through %s",
+				pkgPress, banned, pkgSubstrate)
+		}
+	}
+	if !slices.Contains(deps, pkgSubstrate) {
+		t.Errorf("%s does not import %s — the seam has moved; update this test's model of the architecture",
+			pkgPress, pkgSubstrate)
+	}
+}
+
+func TestSubstrateSPIIsImplementationFree(t *testing.T) {
+	deps := imports(t, pkgSubstrate)
+	for _, banned := range []string{pkgTCPSim, pkgVIASim} {
+		if slices.Contains(deps, banned) {
+			t.Errorf("%s imports %s; the SPI must stay implementation-free so adapters plug in from outside",
+				pkgSubstrate, banned)
+		}
+	}
+}
+
+// The adapters are where the simulators are allowed — and required — to
+// appear: if an adapter stops importing its simulator, the seam has been
+// bypassed somewhere else.
+func TestAdaptersOwnTheirSimulators(t *testing.T) {
+	if deps := imports(t, pkgTCPAdapt); !slices.Contains(deps, pkgTCPSim) {
+		t.Errorf("%s no longer imports %s", pkgTCPAdapt, pkgTCPSim)
+	}
+	if deps := imports(t, pkgVIAAdapt); !slices.Contains(deps, pkgVIASim) {
+		t.Errorf("%s no longer imports %s", pkgVIAAdapt, pkgVIASim)
+	}
+}

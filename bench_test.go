@@ -19,6 +19,7 @@ import (
 	"vivo/internal/osmodel"
 	"vivo/internal/press"
 	"vivo/internal/sim"
+	subvia "vivo/internal/substrate/via"
 	"vivo/internal/tcpsim"
 	"vivo/internal/viasim"
 	"vivo/internal/workload"
@@ -240,7 +241,9 @@ func BenchmarkAblationPreallocation(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opt := benchOpt
 				cfg := opt.Config(press.VIAPress0)
-				cfg.VIA.DynamicBuffers = dynamic
+				vo := cfg.Substrate.Opts.(subvia.Options)
+				vo.Config.DynamicBuffers = dynamic
+				cfg.Substrate = subvia.Spec(vo)
 				avail = kernelMemoryAvailability(cfg)
 			}
 			b.ReportMetric(avail, "availability")

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"vivo/internal/experiments"
 	"vivo/internal/faults"
@@ -29,15 +30,10 @@ func main() {
 	csv := flag.Bool("csv", false, "emit the timeline as CSV instead of text")
 	flag.Parse()
 
-	var version press.Version
-	found := false
-	for _, v := range press.Versions {
-		if v.String() == *versionName {
-			version, found = v, true
-		}
-	}
+	version, found := press.VersionByName(*versionName)
 	if !found {
-		log.Fatalf("unknown version %q", *versionName)
+		log.Fatalf("unknown version %q (valid: %s)",
+			*versionName, strings.Join(press.VersionNames(), ", "))
 	}
 
 	opt := experiments.Quick()

@@ -13,6 +13,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"vivo/internal/metrics"
@@ -22,7 +23,8 @@ import (
 )
 
 func main() {
-	versionName := flag.String("version", "VIA-PRESS-5", "PRESS version (TCP-PRESS, TCP-PRESS-HB, VIA-PRESS-0, VIA-PRESS-3, VIA-PRESS-5)")
+	versionName := flag.String("version", "VIA-PRESS-5",
+		"PRESS version ("+strings.Join(press.VersionNames(), ", ")+")")
 	rate := flag.Float64("rate", 6000, "offered client load, requests/second")
 	duration := flag.Duration("duration", 60*time.Second, "simulated run length")
 	seed := flag.Int64("seed", 1, "deterministic seed")
@@ -30,9 +32,10 @@ func main() {
 	logPath := flag.String("log", "", "replay a Common Log Format access log instead of the synthetic Zipf trace")
 	flag.Parse()
 
-	v, ok := versionByName(*versionName)
+	v, ok := press.VersionByName(*versionName)
 	if !ok {
-		log.Fatalf("unknown version %q", *versionName)
+		log.Fatalf("unknown version %q (valid: %s)",
+			*versionName, strings.Join(press.VersionNames(), ", "))
 	}
 
 	k := sim.New(*seed)
@@ -79,13 +82,4 @@ func main() {
 	if *verbose {
 		fmt.Fprint(os.Stdout, rec.Timeline().String())
 	}
-}
-
-func versionByName(name string) (press.Version, bool) {
-	for _, v := range press.Versions {
-		if v.String() == name {
-			return v, true
-		}
-	}
-	return 0, false
 }

@@ -33,6 +33,11 @@
 // different Options run concurrently instead of serializing behind a
 // campaign-wide lock.
 //
+// Determinism makes the whole stack pinnable: TestGoldenSeed1 compares
+// Table 1 plus the complete quick-scale campaign for seed 1 byte-for-byte
+// against testdata/golden_seed1.txt (run via `make golden`; regenerate
+// intentional behaviour changes with -update).
+//
 // # Running one fault experiment
 //
 // The minimal phase-1 experiment — inject a transient link fault into a

@@ -25,13 +25,30 @@ func TestFaultClassMapCoversAllFaults(t *testing.T) {
 	}
 }
 
+// testOpt returns the Quick() options, with every horizon trimmed under
+// -short (the race-detector leg of make ci, where each simulated second
+// costs ~10x). The protocol events the tests assert on — detection,
+// reconfiguration, restart, rejoin — all complete well inside the reduced
+// windows; assertions read durations off the returned options rather than
+// hard-coding Quick()'s.
+func testOpt() Options {
+	opt := Quick()
+	if testing.Short() {
+		opt.Stabilize = 10 * time.Second
+		opt.FaultDuration = 30 * time.Second
+		opt.Observe = 60 * time.Second
+	}
+	return opt
+}
+
 func TestRunFaultLinkDownTCPPress(t *testing.T) {
-	fr := RunFault(press.TCPPress, faults.LinkDown, Quick())
+	opt := testOpt()
+	fr := RunFault(press.TCPPress, faults.LinkDown, opt)
 	m := fr.Measured
 	if fr.Obs.HasDetect {
 		t.Fatal("TCP-PRESS must not detect a transient link fault")
 	}
-	if m.DA != Quick().FaultDuration {
+	if m.DA != opt.FaultDuration {
 		t.Fatalf("stage A = %v, want the whole fault duration", m.DA)
 	}
 	if m.TA > 0.2*m.Tn {
@@ -46,7 +63,7 @@ func TestRunFaultLinkDownTCPPress(t *testing.T) {
 }
 
 func TestRunFaultLinkDownVIA(t *testing.T) {
-	fr := RunFault(press.VIAPress5, faults.LinkDown, Quick())
+	fr := RunFault(press.VIAPress5, faults.LinkDown, testOpt())
 	m := fr.Measured
 	if !fr.Obs.HasDetect {
 		t.Fatal("VIA must detect the link fault via connection break")
@@ -60,7 +77,7 @@ func TestRunFaultLinkDownVIA(t *testing.T) {
 }
 
 func TestRunFaultAppCrashDegradedLevel(t *testing.T) {
-	fr := RunFault(press.VIAPress0, faults.AppCrash, Quick())
+	fr := RunFault(press.VIAPress0, faults.AppCrash, testOpt())
 	m := fr.Measured
 	if !fr.Obs.Instantaneous {
 		t.Fatal("app crash must be marked instantaneous")
@@ -75,7 +92,7 @@ func TestRunFaultAppCrashDegradedLevel(t *testing.T) {
 }
 
 func TestRunFaultKernelMemoryVIAImmune(t *testing.T) {
-	fr := RunFault(press.VIAPress3, faults.KernelMemory, Quick())
+	fr := RunFault(press.VIAPress3, faults.KernelMemory, testOpt())
 	m := fr.Measured
 	if m.TA < 0.9*m.Tn {
 		t.Fatalf("VIA throughput during kernel memory fault = %.0f of %.0f, want unaffected",

@@ -67,7 +67,7 @@ func RenderAppRateSweep(c *Campaign) string {
 }
 
 // BestVIAVersion is the default subject of the scaling study.
-const BestVIAVersion = press.VIAPress5
+var BestVIAVersion = press.VIAPress5
 
 // ScaleRow is one cluster-size sample of the scaling study.
 type ScaleRow struct {

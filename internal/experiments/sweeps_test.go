@@ -77,7 +77,7 @@ func TestRescaleFraction(t *testing.T) {
 
 func TestClusterScalingThroughputGrows(t *testing.T) {
 	c := fakeCampaign()
-	opt := Quick()
+	opt := testOpt()
 	rows := ClusterScaling(c, press.VIAPress5, []int{2, 4}, opt)
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
@@ -104,7 +104,7 @@ func TestRenderSweeps(t *testing.T) {
 }
 
 func TestMultiFaultStudy(t *testing.T) {
-	opt := Quick()
+	opt := testOpt() // -short trims the stabilize window
 	opt.LoadFraction = 0.3
 	opt.FaultDuration = 30 * time.Second
 	opt.Observe = 60 * time.Second

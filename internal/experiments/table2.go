@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vivo/internal/faults"
+	"vivo/internal/press"
+)
+
+// RenderTable2 serializes the phase-1 campaign matrix — the measurements
+// behind the paper's Table 2 — as one line per (version, fault) cell:
+// the five stage throughputs relative to normal operation and the three
+// measured durations, plus each version's baseline Tn. The rendering is
+// exhaustive and deterministic (fixed iteration order, fixed float
+// precision), so a byte-for-byte comparison of two renderings is a
+// behavioural comparison of two simulation stacks; the golden regression
+// test relies on exactly that.
+func RenderTable2(c *Campaign) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: measured stage parameters (seed %d, load %.2f)\n",
+		c.Opt.Seed, c.Opt.LoadFraction)
+	for _, v := range press.Versions {
+		fmt.Fprintf(&b, "%s Tn=%.3f\n", v, c.Tn[v])
+		for _, ft := range faults.AllTypes {
+			m := c.Meas[v][faultClassOf[ft]]
+			fmt.Fprintf(&b,
+				"  %-16s TA=%.3f TB=%.3f TC=%.3f TD=%.3f TE=%.3f DA=%v DB=%v DD=%v splintered=%v\n",
+				ft, m.TA, m.TB, m.TC, m.TD, m.TE, m.DA, m.DB, m.DD, m.Splintered)
+		}
+	}
+	return b.String()
+}

@@ -4,8 +4,7 @@ import (
 	"time"
 
 	"vivo/internal/cluster"
-	"vivo/internal/tcpsim"
-	"vivo/internal/viasim"
+	"vivo/internal/substrate"
 )
 
 // Config describes one PRESS deployment: the version under study plus the
@@ -62,21 +61,18 @@ type Config struct {
 	Remerge         bool
 	RemergeInterval time.Duration
 
-	// Substrate and hardware configurations.
+	// Hardware configures the simulated cluster fabric.
 	Hardware cluster.Config
-	TCP      tcpsim.Config
-	VIA      viasim.Config
+
+	// Substrate selects the registered communication layer carrying
+	// intra-cluster traffic; the zero value means the version's
+	// registered default (Version.Spec().Substrate).
+	Substrate substrate.Spec
 }
 
 // DefaultConfig mirrors the paper's setup for the given version.
 func DefaultConfig(v Version) Config {
-	tcp := tcpsim.DefaultConfig()
-	// Linux-2.2-era retransmission backoff reached minute-scale
-	// intervals; 30 s keeps "recovers slightly after repair" while
-	// preserving the rejoin race the paper observed after node crashes.
-	tcp.MaxRTO = 30 * time.Second
-	via := viasim.DefaultConfig()
-	via.SyncDescriptorChecks = v.Robust()
+	spec := v.Spec()
 	return Config{
 		Version:         v,
 		Nodes:           4,
@@ -84,7 +80,7 @@ func DefaultConfig(v Version) Config {
 		FileSize:        8 << 10,
 		WorkingSetFiles: 72 * 1024,
 		PinLimit:        160 << 20,
-		Costs:           Costs(v),
+		Costs:           spec.Costs,
 		HBPeriod:        5 * time.Second,
 		HBTimeout:       15 * time.Second,
 		JoinTimeout:     10 * time.Second,
@@ -93,31 +89,13 @@ func DefaultConfig(v Version) Config {
 		DiskService:     6 * time.Millisecond,
 		AcceptBacklog:   512,
 		RemergeInterval: 10 * time.Second,
-		Remerge:         v.Robust(),
+		Remerge:         spec.Remerge,
 		Hardware:        cluster.DefaultConfig(),
-		TCP:             tcp,
-		VIA:             via,
+		Substrate:       spec.Substrate,
 	}
 }
 
 // Table1Throughput returns the paper's measured near-peak throughput for
 // the version (requests/second on four nodes), the calibration target for
 // the cost model.
-func Table1Throughput(v Version) float64 {
-	switch v {
-	case TCPPress, TCPPressHB:
-		return 4965
-	case VIAPress0:
-		return 6031
-	case VIAPress3:
-		return 6221
-	case VIAPress5:
-		return 7058
-	case RobustPress:
-		// Not in the paper: the analytic capacity of the §7 design
-		// with the calibrated cost model (between VIA-3 and VIA-5).
-		return 6670
-	default:
-		return 0
-	}
-}
+func Table1Throughput(v Version) float64 { return v.Spec().PaperThroughput }

@@ -36,52 +36,72 @@ type CostModel struct {
 	CacheInsert time.Duration
 }
 
-// Costs returns the calibrated cost model for a version.
-func Costs(v Version) CostModel {
-	base := CostModel{
+// Costs returns the calibrated cost model for a version (from its
+// registered spec).
+func Costs(v Version) CostModel { return v.Spec().Costs }
+
+// baseCosts holds the version-independent operations.
+func baseCosts() CostModel {
+	return CostModel{
 		ClientHandle:      539 * time.Microsecond,
 		CacheRead:         20 * time.Microsecond,
 		CacheReadZeroCopy: 5 * time.Microsecond,
 		CacheInsert:       10 * time.Microsecond,
 	}
-	switch v {
-	case TCPPress, TCPPressHB:
-		// Kernel crossings, data copies on both sides and
-		// interrupt-driven reception on every message.
-		base.SendSmall = 30 * time.Microsecond
-		base.RecvSmall = 35 * time.Microsecond
-		base.SendData = 130 * time.Microsecond
-		base.RecvData = 133 * time.Microsecond
-	case VIAPress0:
-		// User-level sends, but still copies on both sides and
-		// receiver interrupts.
-		base.SendSmall = 8 * time.Microsecond
-		base.RecvSmall = 15 * time.Microsecond
-		base.SendData = 48 * time.Microsecond
-		base.RecvData = 68 * time.Microsecond
-	case VIAPress3:
-		// Remote memory writes and polling: no receiver interrupts.
-		base.SendSmall = 5 * time.Microsecond
-		base.RecvSmall = 4 * time.Microsecond
-		base.SendData = 45 * time.Microsecond
-		base.RecvData = 58 * time.Microsecond
-	case VIAPress5:
-		// Zero-copy: data leaves straight from the pinned file cache
-		// and is sent to the client right out of the communication
-		// buffer.
-		base.SendSmall = 5 * time.Microsecond
-		base.RecvSmall = 4 * time.Microsecond
-		base.SendData = 10 * time.Microsecond
-		base.RecvData = 6 * time.Microsecond
-	case RobustPress:
-		// Single-copy (§7's recommendation): one copy into a
-		// pre-allocated pinned bounce buffer per data transfer, so the
-		// file cache itself needs no pinning. Performance lands
-		// between VIA-PRESS-3 and the fragile zero-copy VIA-PRESS-5.
-		base.SendSmall = 5 * time.Microsecond
-		base.RecvSmall = 4 * time.Microsecond
-		base.SendData = 25 * time.Microsecond
-		base.RecvData = 20 * time.Microsecond
-	}
-	return base
+}
+
+// tcpCosts: kernel crossings, data copies on both sides and
+// interrupt-driven reception on every message.
+func tcpCosts() CostModel {
+	c := baseCosts()
+	c.SendSmall = 30 * time.Microsecond
+	c.RecvSmall = 35 * time.Microsecond
+	c.SendData = 130 * time.Microsecond
+	c.RecvData = 133 * time.Microsecond
+	return c
+}
+
+// via0Costs: user-level sends, but still copies on both sides and
+// receiver interrupts.
+func via0Costs() CostModel {
+	c := baseCosts()
+	c.SendSmall = 8 * time.Microsecond
+	c.RecvSmall = 15 * time.Microsecond
+	c.SendData = 48 * time.Microsecond
+	c.RecvData = 68 * time.Microsecond
+	return c
+}
+
+// via3Costs: remote memory writes and polling, no receiver interrupts.
+func via3Costs() CostModel {
+	c := baseCosts()
+	c.SendSmall = 5 * time.Microsecond
+	c.RecvSmall = 4 * time.Microsecond
+	c.SendData = 45 * time.Microsecond
+	c.RecvData = 58 * time.Microsecond
+	return c
+}
+
+// via5Costs: zero-copy — data leaves straight from the pinned file cache
+// and is sent to the client right out of the communication buffer.
+func via5Costs() CostModel {
+	c := baseCosts()
+	c.SendSmall = 5 * time.Microsecond
+	c.RecvSmall = 4 * time.Microsecond
+	c.SendData = 10 * time.Microsecond
+	c.RecvData = 6 * time.Microsecond
+	return c
+}
+
+// robustCosts: single-copy (§7's recommendation) — one copy into a
+// pre-allocated pinned bounce buffer per data transfer, so the file cache
+// itself needs no pinning. Performance lands between VIA-PRESS-3 and the
+// fragile zero-copy VIA-PRESS-5.
+func robustCosts() CostModel {
+	c := baseCosts()
+	c.SendSmall = 5 * time.Microsecond
+	c.RecvSmall = 4 * time.Microsecond
+	c.SendData = 25 * time.Microsecond
+	c.RecvData = 20 * time.Microsecond
+	return c
 }

@@ -7,8 +7,7 @@ import (
 	"vivo/internal/metrics"
 	"vivo/internal/osmodel"
 	"vivo/internal/sim"
-	"vivo/internal/tcpsim"
-	"vivo/internal/viasim"
+	"vivo/internal/substrate"
 	"vivo/internal/workload"
 )
 
@@ -24,8 +23,7 @@ type Deployment struct {
 	OS    []*osmodel.OS
 	Disks []*Disk
 
-	stacks []*tcpsim.Stack
-	nics   []*viasim.NIC
+	transports []substrate.Transport
 
 	servers []*Server
 
@@ -48,6 +46,9 @@ func NewDeployment(k *sim.Kernel, cfg Config) *Deployment {
 	if cfg.Costs == (CostModel{}) {
 		cfg.Costs = Costs(cfg.Version)
 	}
+	if cfg.Substrate.Name == "" {
+		cfg.Substrate = cfg.Version.Spec().Substrate
+	}
 	d := &Deployment{
 		K:             k,
 		Cfg:           cfg,
@@ -60,21 +61,20 @@ func NewDeployment(k *sim.Kernel, cfg Config) *Deployment {
 		os := osmodel.New(k, node, cfg.PinLimit)
 		d.OS = append(d.OS, os)
 		d.Disks = append(d.Disks, NewDisk(k, cfg.DiskSpindles, cfg.DiskService))
-		if cfg.Version.UsesVIA() {
-			d.nics = append(d.nics, viasim.NewNIC(k, d.HW, node, os, cfg.VIA))
-		} else {
-			d.stacks = append(d.stacks, tcpsim.NewStack(k, d.HW, node, os, cfg.TCP))
+		tr, err := substrate.New(cfg.Substrate.Name, substrate.NodeEnv{
+			K: k, HW: d.HW, Node: node, OS: os,
+		}, cfg.Substrate.Opts)
+		if err != nil {
+			panic(fmt.Sprintf("press: node %d: %v", i, err))
 		}
+		d.transports = append(d.transports, tr)
 		d.installDaemon(i)
 	}
 	return d
 }
 
-func (d *Deployment) transportFor(id int) transport {
-	if d.Cfg.Version.UsesVIA() {
-		return viaTransport{nic: d.nics[id], remoteWrites: d.Cfg.Version.RemoteWrites()}
-	}
-	return tcpTransport{st: d.stacks[id]}
+func (d *Deployment) transportFor(id int) substrate.Transport {
+	return d.transports[id]
 }
 
 // installDaemon sets up the per-node restart daemon: it respawns the PRESS

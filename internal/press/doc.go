@@ -1,9 +1,8 @@
 // Package press implements the PRESS cluster-based locality-conscious web
-// server of Carrera & Bianchini on top of the simulated TCP (tcpsim) and
-// VIA (viasim) substrates, in the five versions the paper studies
+// server of Carrera & Bianchini in the five versions the paper studies
 // (Table 1) plus this repository's §7 extension, together with the
 // restart daemon and the deployment wiring that connects servers,
-// substrates, OS models and client workload.
+// communication substrates, OS models and client workload.
 //
 // # The server
 //
@@ -19,14 +18,37 @@
 // communication errors terminate the process, which the per-node daemon
 // then restarts.
 //
+// # Layers
+//
+// The server core (server.go) is communication-agnostic: it talks to the
+// network only through the [vivo/internal/substrate] SPI, and the
+// version-dependent behaviour lives in three pluggable layers the core
+// composes at construction time from its [VersionSpec]:
+//
+//   - sendpath.go — the send engine: kernel-buffered blocking sends with a
+//     writability-driven drain queue (TCP), or user-level credit-gated
+//     sends with per-peer overflow queues (VIA).
+//   - detect.go — the failure-detection policy: connection breaks only, or
+//     breaks plus the directed-ring heartbeat protocol.
+//   - membership.go — reconfiguration plus the join policy: the explicit
+//     join-request handshake (TCP) or implicit rejoin on connect (VIA).
+//   - router.go — the request path (routing, forwarding, cache, disk),
+//     identical across versions up to the cost model.
+//
 // # Versions
 //
-// [Version] enumerates the builds: [TCPPress] (kernel TCP), [TCPPressHB]
-// (adds heartbeats), [VIAPress0] (VIA messages), [VIAPress3] (remote
-// writes and polling), [VIAPress5] (adds zero-copy, which pins the file
-// cache), and [RobustPress] — the communication layer §7 of the paper
-// proposes but never builds. [Versions] lists the paper's five in Table-1
-// order; [AllVersions] appends the extension.
+// A [Version] is an index into a registry of [VersionSpec] values — pure
+// data naming a substrate ([substrate.Spec]), flow-control and join
+// policies, detection and zero-copy flags, the cost model and the Table-1
+// calibration target. [Register] adds a new version; no server code needs
+// to change (version_robust.go registers ROBUST-PRESS this way).
+//
+// The built-ins: [TCPPress] (kernel TCP), [TCPPressHB] (adds heartbeats),
+// [VIAPress0] (VIA messages), [VIAPress3] (remote writes and polling),
+// [VIAPress5] (adds zero-copy, which pins the file cache), and
+// [RobustPress] — the communication layer §7 of the paper proposes but
+// never builds. [Versions] lists the paper's five in Table-1 order;
+// [AllVersions] appends every registered extension.
 //
 // # Worked example
 //

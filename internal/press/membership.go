@@ -6,7 +6,7 @@ import (
 	"sort"
 
 	"vivo/internal/comm"
-	"vivo/internal/sim"
+	"vivo/internal/substrate"
 )
 
 // reconfigure removes node x from the cooperating cluster: the temporary
@@ -55,15 +55,17 @@ func (s *Server) reconfigure(x int, announce bool) {
 			})
 		}
 	}
-	s.dropQueuedTo(x)
-	s.resetRingGrace()
+	s.engine.dropQueuedTo(x)
+	s.det.resetGrace()
 	if announce {
 		s.broadcast(msgNodeDown, wire{Node: x}, smallMsgSize, s.cost.SendSmall)
 	}
-	s.drainOut()
+	// The departed peer may have been the one blocking the send path;
+	// give queued traffic a chance to move again.
+	s.engine.kick()
 }
 
-// ---- directed ring and heartbeats (TCP-PRESS-HB) ----
+// ---- the directed ring (used by the heartbeat detector) ----
 
 // successor returns the next active member after this node on the ring.
 func (s *Server) successor() int {
@@ -94,68 +96,96 @@ func (s *Server) ringNeighbor(dir int) int {
 	return ms[((idx+dir)%n+n)%n]
 }
 
-func (s *Server) resetRingGrace() {
-	s.lastHB[s.predecessor()] = s.k().Now()
-}
-
-// startHeartbeats arms the heartbeat thread. In PRESS the heartbeat
-// machinery runs independently of the main coordinating loop — if it went
-// through the (blockable) main loop, a single stalled peer would silence
-// every node's heartbeats and fragment the whole cluster, which is not what
-// the paper observes. It still respects SIGSTOP (thread stopped with the
-// process) and node freezes.
-func (s *Server) startHeartbeats() {
-	if !s.cfg.Version.Heartbeats() {
-		return
-	}
-	s.resetRingGrace()
-	s.hbSend = sim.NewTicker(s.k(), s.cfg.HBPeriod, func() {
-		if !s.alive || s.proc.Stopped() || s.node.Frozen {
-			return
-		}
-		succ := s.successor()
-		if succ == s.id {
-			return
-		}
-		if pc := s.conns[succ]; pc != nil && pc.Established() {
-			// Direct send, bypassing the main loop and its queue;
-			// a full channel just means this heartbeat is lost.
-			err := pc.Send(s.params(msgHeartbeat, wire{}, smallMsgSize))
-			_ = err
-		}
-	})
-	s.hbCheck = sim.NewTicker(s.k(), s.cfg.HBPeriod, func() {
-		if !s.alive || s.proc.Stopped() || s.node.Frozen {
-			return
-		}
-		pred := s.predecessor()
-		if pred == s.id {
-			return
-		}
-		last, seen := s.lastHB[pred]
-		if !seen {
-			s.lastHB[pred] = s.k().Now()
-			return
-		}
-		if s.k().Now()-last > s.cfg.HBTimeout {
-			// Three missed heartbeats: declare the predecessor
-			// failed and tell the others.
-			s.mark(fmt.Sprintf("heartbeat timeout for n%d", pred))
-			s.reconfigure(pred, true)
-		}
-	})
-	s.hbSend.Start()
-	s.hbCheck.Start()
-}
-
 // ---- rejoin protocol ----
 
-// startJoin runs the appropriate (one-shot) rejoin protocol for a freshly
-// restarted process: dial everyone; TCP additionally broadcasts an explicit
-// join request that only the lowest-id active member may answer. If nothing
-// is heard within JoinTimeout the node gives up and serves standalone —
-// which, combined with peers that still believe the old incarnation is a
-// member, reproduces the paper's TCP-PRESS node-crash quirk.
+// joinPolicy is the rejoin layer of the server: how a freshly restarted
+// process re-enters a running cluster, and what its peers do with
+// channels from nodes they do not (yet) count as members. The two
+// implementations reproduce the paper's two protocols — [explicitJoin]
+// (TCP: broadcast a join request, lowest-id member answers) and
+// [implicitRejoin] (VIA: a re-established channel is the admission) —
+// selected by VersionSpec.Join.
+type joinPolicy interface {
+	// dialed handles a successfully dialed channel during startJoin.
+	dialed(s *Server, j int, pc substrate.PeerConn)
+	// acceptStranger handles an inbound channel from a node that is not
+	// an expected bootstrap peer.
+	acceptStranger(s *Server, r int, pc substrate.PeerConn)
+	// giveUp finalizes membership when the join timer expires.
+	giveUp(s *Server)
+}
+
+func newJoinPolicy(j JoinProtocol) joinPolicy {
+	if j == ImplicitRejoin {
+		return implicitRejoin{}
+	}
+	return explicitJoin{}
+}
+
+// explicitJoin: the TCP-PRESS protocol. The restarted node holds every
+// channel as pending and broadcasts an explicit join request that only
+// the lowest-id active member may answer; unanswered, it gives up and
+// serves standalone. Combined with peers that still believe the old
+// incarnation is a member, this reproduces the paper's §5.3 node-crash
+// quirk.
+type explicitJoin struct{}
+
+func (explicitJoin) dialed(s *Server, j int, pc substrate.PeerConn) {
+	s.joinPending[j] = pc
+	s.sendDirect(pc, msgJoinReq, wire{Node: s.id}, smallMsgSize)
+}
+
+func (explicitJoin) acceptStranger(s *Server, r int, pc substrate.PeerConn) {
+	// Hold until the join protocol decides.
+	s.joinPending[r] = pc
+}
+
+func (explicitJoin) giveUp(s *Server) {
+	for _, j := range sortedKeys(s.conns) {
+		s.conns[j].Close()
+		delete(s.conns, j)
+		delete(s.members, j)
+	}
+	s.members = map[int]bool{s.id: true}
+	s.mark("gave up rejoin; running standalone")
+}
+
+// implicitRejoin: the VIA protocol (§3). Establishing a channel is
+// re-admission — both sides immediately exchange cache summaries — so the
+// join completes as soon as every reachable peer has answered the dial.
+type implicitRejoin struct{}
+
+func (implicitRejoin) dialed(s *Server, j int, pc substrate.PeerConn) {
+	s.members[j] = true
+	s.conns[j] = pc
+	s.sendCacheSummary(j)
+	s.maybeFinishJoin()
+}
+
+func (implicitRejoin) acceptStranger(s *Server, r int, pc substrate.PeerConn) {
+	if s.members[r] {
+		// Stale duplicate; replace the channel.
+		if old := s.conns[r]; old != nil {
+			old.Close()
+		}
+		s.conns[r] = pc
+		return
+	}
+	// A node re-establishing its connection is re-admitted on the spot
+	// and sent our caching information (§3 Reconfiguration).
+	s.admit(r, pc)
+}
+
+func (implicitRejoin) giveUp(s *Server) {
+	// Whatever connections were re-established form our cluster.
+	s.det.resetGrace()
+	s.mark(fmt.Sprintf("join finalized with members %v", s.Members()))
+}
+
+// startJoin runs the (one-shot) rejoin protocol for a freshly restarted
+// process: dial everyone and let the version's joinPolicy decide what an
+// answered dial means. If nothing concludes within JoinTimeout the node
+// gives up per the policy.
 func (s *Server) startJoin() {
 	s.mark("rejoin started")
 	for j := 0; j < s.cfg.Nodes; j++ {
@@ -163,7 +193,7 @@ func (s *Server) startJoin() {
 			continue
 		}
 		j := j
-		s.tr.dial(j, func(pc peerConn, err error) {
+		s.tr.Dial(j, func(pc substrate.PeerConn, err error) {
 			if !s.alive {
 				if pc != nil {
 					pc.Close()
@@ -173,18 +203,8 @@ func (s *Server) startJoin() {
 			if err != nil {
 				return
 			}
-			pc.bind(s.callbacks())
-			if s.cfg.Version.UsesVIA() {
-				// VIA: re-established connection means re-admitted;
-				// the peer sends its caching info, we send ours.
-				s.members[j] = true
-				s.conns[j] = pc
-				s.sendCacheSummary(j)
-				s.maybeFinishJoin()
-				return
-			}
-			s.joinPending[j] = pc
-			s.sendDirect(pc, msgJoinReq, wire{Node: s.id}, smallMsgSize)
+			pc.Bind(s.callbacks())
+			s.join.dialed(s, j, pc)
 		})
 	}
 	s.joinTimer = s.k().After(s.cfg.JoinTimeout, func() {
@@ -195,13 +215,13 @@ func (s *Server) startJoin() {
 	})
 }
 
+// maybeFinishJoin completes an implicit rejoin as soon as every reachable
+// peer re-admitted us; completion is otherwise finalized by the timeout
+// (peers that never answer are simply not members).
 func (s *Server) maybeFinishJoin() {
-	if s.joined || !s.cfg.Version.UsesVIA() {
+	if s.joined {
 		return
 	}
-	// VIA joins complete as soon as every reachable peer re-admitted us;
-	// completion is finalized by the timeout (peers that never answer
-	// are simply not members).
 	if len(s.conns) == s.cfg.Nodes-1 {
 		s.finishJoin()
 	}
@@ -215,36 +235,25 @@ func (s *Server) finishJoin() {
 	if s.joinTimer != nil {
 		s.joinTimer.Cancel()
 	}
-	s.resetRingGrace()
+	s.det.resetGrace()
 	s.mark(fmt.Sprintf("rejoined, members %v", s.Members()))
 }
 
 func (s *Server) giveUpJoin() {
 	// The paper's observed behaviour: the recovered node gives up and
-	// runs as an independent server until an operator intervenes.
+	// runs with whatever membership the policy salvages until an
+	// operator intervenes.
 	s.joined = true
 	for _, j := range sortedKeys(s.joinPending) {
 		s.joinPending[j].Close()
 		delete(s.joinPending, j)
 	}
-	if s.cfg.Version.UsesVIA() {
-		// Whatever connections were re-established form our cluster.
-		s.resetRingGrace()
-		s.mark(fmt.Sprintf("join finalized with members %v", s.Members()))
-		return
-	}
-	for _, j := range sortedKeys(s.conns) {
-		s.conns[j].Close()
-		delete(s.conns, j)
-		delete(s.members, j)
-	}
-	s.members = map[int]bool{s.id: true}
-	s.mark("gave up rejoin; running standalone")
+	s.join.giveUp(s)
 }
 
-// sendDirect bypasses the blocking send path (used on join channels that
+// sendDirect bypasses the engine's send path (used on join channels that
 // carry no other traffic).
-func (s *Server) sendDirect(pc peerConn, kind int, w wire, size int) {
+func (s *Server) sendDirect(pc substrate.PeerConn, kind int, w wire, size int) {
 	p := s.params(kind, w, size)
 	if s.interpose != nil {
 		s.interpose(&p)
@@ -260,7 +269,7 @@ func (s *Server) sendDirect(pc peerConn, kind int, w wire, size int) {
 	}
 }
 
-// handleJoinReq implements the member side of the TCP join protocol.
+// handleJoinReq implements the member side of the explicit join protocol.
 func (s *Server) handleJoinReq(w wire) {
 	r := w.Node
 	if s.members[r] && s.conns[r] != nil {
@@ -280,7 +289,7 @@ func (s *Server) handleJoinReq(w wire) {
 	s.members[r] = true
 	s.conns[r] = pc
 	delete(s.joinPending, r)
-	s.resetRingGrace()
+	s.det.resetGrace()
 	s.sendDirect(pc, msgJoinAccept, wire{Members: s.Members()}, smallMsgSize)
 	s.broadcast(msgNodeUp, wire{Node: r}, smallMsgSize, s.cost.SendSmall)
 	s.sendCacheSummary(r)

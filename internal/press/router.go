@@ -1,0 +1,169 @@
+package press
+
+import (
+	"vivo/internal/metrics"
+	"vivo/internal/workload"
+)
+
+// This file is the request router/cache layer of the server: accepting
+// client requests, the locality-conscious routing decision (local cache
+// hit, forward to the least-loaded cacher, or home-node disk fetch),
+// cooperative-cache directory maintenance, and the forwarded-request
+// bookkeeping. It is identical across versions up to the cost model —
+// the readCost the server precomputes from VersionSpec.ZeroCopy is the
+// only place a version difference shows here.
+
+// acceptRequest is called by the deployment when the kernel accepts a
+// client connection for this process.
+func (s *Server) acceptRequest(r *workload.Request) {
+	s.node.CPU.Submit(s.cost.ClientHandle, func() {
+		if !s.alive {
+			r.Fail(metrics.Refused)
+			return
+		}
+		if r.Settled() {
+			return // client gave up while we were queued
+		}
+		s.inflight++
+		s.route(r)
+	})
+}
+
+func (s *Server) route(r *workload.Request) {
+	f := r.File
+	if s.cache.Touch(f) {
+		s.node.CPU.Submit(s.readCost, func() {
+			if s.alive {
+				s.finish(r)
+			}
+		})
+		return
+	}
+	if svc, ok := s.pickService(f); ok {
+		s.forward(r, svc)
+		return
+	}
+	// Nobody caches it: the content-based distribution assigns every
+	// file a home node; the home fetches from its disk and starts
+	// caching, so locality stays stable across the cluster.
+	if home := f % s.cfg.Nodes; home != s.id && s.members[home] {
+		s.forward(r, home)
+		return
+	}
+	// We are the home (or the home is down): fetch from the local disk
+	// and start caching.
+	s.disk().Read(func() {
+		if !s.alive {
+			r.Fail(metrics.Refused)
+			return
+		}
+		s.node.CPU.Submit(s.cost.CacheInsert, func() {
+			if !s.alive {
+				r.Fail(metrics.Refused)
+				return
+			}
+			s.insertFile(r.File)
+			s.finish(r)
+		})
+	})
+}
+
+// forward dispatches a client request to a service node.
+func (s *Server) forward(r *workload.Request, svc int) {
+	s.nextReqID++
+	id := s.nextReqID
+	s.pending[id] = pendingFwd{req: r, svc: svc}
+	s.send(svc, msgForward, wire{ReqID: id, File: r.File}, smallMsgSize, s.cost.SendSmall)
+}
+
+// pickService returns the least-loaded member caching f.
+func (s *Server) pickService(f int) (int, bool) {
+	mask := s.dir[f]
+	best, bestLoad, found := 0, 0, false
+	for n := 0; n < s.cfg.Nodes; n++ {
+		if n == s.id || mask&(1<<uint(n)) == 0 || !s.members[n] {
+			continue
+		}
+		if !found || s.loads[n] < bestLoad {
+			best, bestLoad, found = n, s.loads[n], true
+		}
+	}
+	return best, found
+}
+
+func (s *Server) finish(r *workload.Request) {
+	r.Complete()
+	if s.inflight > 0 {
+		s.inflight--
+	}
+}
+
+func (s *Server) insertFile(f int) {
+	evicted, ok := s.cache.Insert(f)
+	for _, ev := range evicted {
+		s.dirRemove(ev, s.id)
+		s.broadcast(msgCacheEvict, wire{File: ev}, smallMsgSize, s.cost.SendSmall)
+	}
+	if ok {
+		s.dir[f] |= 1 << uint(s.id)
+		s.broadcast(msgCacheAdd, wire{File: f}, smallMsgSize, s.cost.SendSmall)
+	}
+}
+
+// handleForward serves a request forwarded by an initial node.
+func (s *Server) handleForward(w wire) {
+	reply := func() {
+		s.send(w.From, msgFileData, wire{ReqID: w.ReqID},
+			int(s.cfg.FileSize), s.cost.SendData)
+	}
+	if s.cache.Touch(w.File) {
+		s.node.CPU.Submit(s.readCost, func() {
+			if s.alive {
+				reply()
+			}
+		})
+		return
+	}
+	// Directory was stale: serve from disk and start caching here.
+	s.disk().Read(func() {
+		if !s.alive {
+			return
+		}
+		s.node.CPU.Submit(s.cost.CacheInsert, func() {
+			if !s.alive {
+				return
+			}
+			s.insertFile(w.File)
+			reply()
+		})
+	})
+}
+
+func (s *Server) dirRemove(file, node int) {
+	if m, ok := s.dir[file]; ok {
+		m &^= 1 << uint(node)
+		if m == 0 {
+			delete(s.dir, file)
+		} else {
+			s.dir[file] = m
+		}
+	}
+}
+
+func (s *Server) disk() *Disk { return s.d.Disks[s.id] }
+
+// sweepPending drops forwarded requests whose clients already timed out
+// and fixes the in-flight accounting for them.
+func (s *Server) sweepPending() {
+	if !s.alive {
+		return
+	}
+	for id, p := range s.pending {
+		if p.req.Settled() {
+			delete(s.pending, id)
+			if s.inflight > 0 {
+				s.inflight--
+			}
+		}
+	}
+}

@@ -2,7 +2,6 @@ package press
 
 import (
 	"cmp"
-	"errors"
 	"fmt"
 	"slices"
 	"sort"
@@ -13,6 +12,7 @@ import (
 	"vivo/internal/metrics"
 	"vivo/internal/osmodel"
 	"vivo/internal/sim"
+	"vivo/internal/substrate"
 	"vivo/internal/workload"
 )
 
@@ -58,24 +58,35 @@ type outMsg struct {
 
 // Server is one PRESS process. A new Server is created for every process
 // incarnation; the restart daemon in Deployment spawns them.
+//
+// The server core here is version-independent: everything that differs
+// between the Table-1 builds is composed from the VersionSpec at
+// construction — the substrate transport (tr), the send-path/flow-control
+// engine (engine, sendpath.go), the failure-detection policy (det,
+// detect.go) and the rejoin protocol (join, membership.go). The request
+// router/cache path lives in router.go.
 type Server struct {
 	d    *Deployment
 	id   int
 	node *cluster.Node
 	os   *osmodel.OS
 	proc *osmodel.Process
-	tr   transport
+	tr   substrate.Transport
 	cfg  *Config
+	spec VersionSpec
 	cost CostModel
+	// readCost is the cache-hit service cost (CacheReadZeroCopy for the
+	// zero-copy build, CacheRead otherwise).
+	readCost time.Duration
 
 	alive  bool
 	joined bool
 
 	members map[int]bool
-	conns   map[int]peerConn
+	conns   map[int]substrate.PeerConn
 	// joinPending holds accepted-or-dialed channels to nodes that are
 	// not (yet) members: the raw material of the join protocol.
-	joinPending map[int]peerConn
+	joinPending map[int]substrate.PeerConn
 
 	cache *Cache
 	// dir maps file -> bitmask of caching nodes (cluster size <= 8).
@@ -86,23 +97,10 @@ type Server struct {
 	pending   map[uint64]pendingFwd
 	nextReqID uint64
 
-	// Blocked-send machinery. Over TCP the kernel socket buffers are
-	// opaque: when one fills, the single send path stalls head-of-line
-	// and eventually blocks the main loop — the stall cascade of §5.
-	outQ        []outMsg
-	sendBlocked bool
-
-	// Over VIA, flow control lives in the library where the server can
-	// see it: a peer that stops returning credits only gets its own
-	// bounded queue, the main loop keeps serving everyone else. This
-	// user-level-visibility advantage is one reason the VIA versions
-	// ride out peer stalls better than TCP.
-	peerQ map[int][]outMsg
-
-	// Heartbeat thread state (TCP-PRESS-HB).
-	hbSend  *sim.Ticker
-	hbCheck *sim.Ticker
-	lastHB  map[int]sim.Time
+	// The composed policy layers (see type comment).
+	engine sendEngine
+	det    detector
+	join   joinPolicy
 
 	remerge *sim.Ticker
 	sweep   *sim.Ticker
@@ -123,6 +121,7 @@ type Server struct {
 // otherwise the server runs the rejoin protocol.
 func newServer(d *Deployment, id int, proc *osmodel.Process, bootstrap bool) *Server {
 	cfg := &d.Cfg
+	spec := cfg.Version.Spec()
 	s := &Server{
 		d:           d,
 		id:          id,
@@ -131,19 +130,25 @@ func newServer(d *Deployment, id int, proc *osmodel.Process, bootstrap bool) *Se
 		proc:        proc,
 		tr:          d.transportFor(id),
 		cfg:         cfg,
+		spec:        spec,
 		cost:        cfg.Costs,
 		alive:       true,
 		members:     map[int]bool{id: true},
-		conns:       make(map[int]peerConn),
-		joinPending: make(map[int]peerConn),
+		conns:       make(map[int]substrate.PeerConn),
+		joinPending: make(map[int]substrate.PeerConn),
 		dir:         make(map[int]uint8),
 		loads:       make(map[int]int),
 		pending:     make(map[uint64]pendingFwd),
-		peerQ:       make(map[int][]outMsg),
-		lastHB:      make(map[int]sim.Time),
 	}
+	s.readCost = s.cost.CacheRead
+	if spec.ZeroCopy {
+		s.readCost = s.cost.CacheReadZeroCopy
+	}
+	s.engine = newSendEngine(s, spec.FlowControl)
+	s.det = newDetector(s, spec.Heartbeats)
+	s.join = newJoinPolicy(spec.Join)
 	var pinOS *osmodel.OS
-	if cfg.Version.ZeroCopy() {
+	if spec.ZeroCopy {
 		pinOS = s.os
 	}
 	s.cache = NewCache(cfg.CacheBytes, cfg.FileSize, pinOS)
@@ -151,7 +156,7 @@ func newServer(d *Deployment, id int, proc *osmodel.Process, bootstrap bool) *Se
 	proc.OnExit(func(killed bool) { s.teardown() })
 	proc.OnCont(func() { s.runDeferred() })
 
-	s.tr.listen(s.accept)
+	s.tr.Listen(s.accept)
 	if bootstrap {
 		for i := 0; i < cfg.Nodes; i++ {
 			if i != id {
@@ -167,7 +172,7 @@ func newServer(d *Deployment, id int, proc *osmodel.Process, bootstrap bool) *Se
 	} else {
 		s.startJoin()
 	}
-	s.startHeartbeats()
+	s.det.start()
 	// Periodically prune forwarded requests whose clients gave up, so
 	// the in-flight count (piggybacked as load) reflects reality.
 	s.sweep = sim.NewTicker(d.K, 5*time.Second, s.sweepPending)
@@ -238,26 +243,21 @@ func (s *Server) teardown() {
 	if s.joinTimer != nil {
 		s.joinTimer.Cancel()
 	}
-	s.tr.unlisten()
+	s.tr.Unlisten()
 	for _, j := range sortedKeys(s.conns) {
 		s.conns[j].Close()
 	}
 	for _, j := range sortedKeys(s.joinPending) {
 		s.joinPending[j].Close()
 	}
-	s.conns = map[int]peerConn{}
-	s.joinPending = map[int]peerConn{}
+	s.conns = map[int]substrate.PeerConn{}
+	s.joinPending = map[int]substrate.PeerConn{}
 	for _, id := range sortedKeys(s.pending) {
 		p := s.pending[id]
 		delete(s.pending, id)
 		p.req.Fail(metrics.Refused)
 	}
-	if s.sendBlocked {
-		s.sendBlocked = false
-		s.node.CPU.Unblock()
-	}
-	s.outQ = nil
-	s.peerQ = map[int][]outMsg{}
+	s.engine.reset()
 	s.cache.DropAll()
 	s.mark("process down")
 }
@@ -266,12 +266,7 @@ func (s *Server) stopTickers() {
 	if s.sweep != nil {
 		s.sweep.Stop()
 	}
-	if s.hbSend != nil {
-		s.hbSend.Stop()
-	}
-	if s.hbCheck != nil {
-		s.hbCheck.Stop()
-	}
+	s.det.stop()
 	if s.remerge != nil {
 		s.remerge.Stop()
 	}
@@ -309,7 +304,7 @@ func (s *Server) deferIfStopped(fn func()) bool {
 // ---- connection management ----
 
 func (s *Server) dialPeer(j int) {
-	s.tr.dial(j, func(pc peerConn, err error) {
+	s.tr.Dial(j, func(pc substrate.PeerConn, err error) {
 		if !s.alive {
 			if pc != nil {
 				pc.Close()
@@ -322,7 +317,7 @@ func (s *Server) dialPeer(j int) {
 			s.reconfigure(j, false)
 			return
 		}
-		pc.bind(s.callbacks())
+		pc.Bind(s.callbacks())
 		if s.members[j] && s.conns[j] == nil {
 			s.conns[j] = pc
 			return
@@ -331,109 +326,62 @@ func (s *Server) dialPeer(j int) {
 	})
 }
 
-func (s *Server) accept(pc peerConn) {
+func (s *Server) accept(pc substrate.PeerConn) {
 	if !s.alive {
 		pc.Close()
 		return
 	}
-	pc.bind(s.callbacks())
+	pc.Bind(s.callbacks())
 	r := pc.Remote()
 	if s.members[r] && s.conns[r] == nil {
 		// Expected bootstrap connection from a lower-id member.
 		s.conns[r] = pc
 		return
 	}
-	if !s.cfg.Version.UsesVIA() {
-		// TCP: hold until the join protocol decides.
-		s.joinPending[r] = pc
-		return
-	}
-	// VIA rejoin: a node re-establishing its connection is re-admitted
-	// on the spot and sent our caching information (§3 Reconfiguration).
-	if s.members[r] {
-		// Stale duplicate; replace the channel.
-		if old := s.conns[r]; old != nil {
-			old.Close()
-		}
-		s.conns[r] = pc
-		return
-	}
-	s.admit(r, pc)
+	// Anything else is join-protocol material.
+	s.join.acceptStranger(s, r, pc)
 }
 
 // admit adds a rejoining node to the membership and sends it our cache
 // summary.
-func (s *Server) admit(r int, pc peerConn) {
+func (s *Server) admit(r int, pc substrate.PeerConn) {
 	s.members[r] = true
 	s.conns[r] = pc
 	delete(s.joinPending, r)
-	s.resetRingGrace()
+	s.det.resetGrace()
 	s.sendCacheSummary(r)
 	s.mark(fmt.Sprintf("admitted n%d", r))
 }
 
-func (s *Server) callbacks() connCallbacks {
-	return connCallbacks{
-		onMessage:  s.onMessage,
-		onWritable: s.onWritable,
-		onBreak:    s.onBreak,
-		onFatal:    s.onFatal,
+func (s *Server) callbacks() substrate.Callbacks {
+	return substrate.Callbacks{
+		OnMessage:  s.onMessage,
+		OnWritable: s.onWritable,
+		OnBreak:    s.onBreak,
+		OnFatal:    s.onFatal,
 	}
 }
 
-func (s *Server) onBreak(pc peerConn, err error) {
-	if !s.alive {
-		return
-	}
-	if s.deferIfStopped(func() { s.onBreak(pc, err) }) {
-		return
-	}
-	r := pc.Remote()
-	if s.conns[r] == pc {
-		// A broken connection to a member triggers reconfiguration —
-		// the universal failure-detection path of all PRESS versions.
-		s.mark(fmt.Sprintf("conn to n%d broke", r))
-		s.reconfigure(r, false)
-		return
-	}
-	if s.joinPending[r] == pc {
-		delete(s.joinPending, r)
-	}
-}
-
-func (s *Server) onFatal(pc peerConn, err error) {
-	if !s.alive {
-		return
-	}
-	// Byte-stream desync or descriptor error completion: PRESS is
-	// fail-fast about communication-layer corruption.
-	s.failFast(err)
-}
-
-func (s *Server) onWritable(pc peerConn) {
+func (s *Server) onWritable(pc substrate.PeerConn) {
 	if !s.alive {
 		return
 	}
 	if s.deferIfStopped(func() { s.onWritable(pc) }) {
 		return
 	}
-	if s.cfg.Version.UsesVIA() {
-		s.drainPeer(pc.Remote())
-		return
-	}
-	s.drainOut()
+	s.engine.onWritable(pc.Remote())
 }
 
 // ---- sending ----
 
 // send charges the CPU cost and then posts the message through the
-// (possibly blocking) send path.
+// engine's (possibly blocking) send path.
 func (s *Server) send(dst, kind int, w wire, size int, cost time.Duration) {
 	s.node.CPU.Submit(cost, func() {
 		if !s.alive {
 			return
 		}
-		s.transmitOrQueue(dst, s.params(kind, w, size))
+		s.engine.transmitOrQueue(dst, s.params(kind, w, size))
 	})
 }
 
@@ -451,170 +399,11 @@ func (s *Server) broadcast(kind int, w wire, size int, cost time.Duration) {
 	}
 }
 
-// peerQCap bounds the per-peer deferral queue on VIA; overflow is dropped
-// (the client request behind it times out).
-const peerQCap = 1024
-
-func (s *Server) transmitOrQueue(dst int, p comm.SendParams) {
-	if s.cfg.Version.UsesVIA() {
-		m := outMsg{dst: dst, params: p}
-		if len(s.peerQ[dst]) > 0 {
-			s.pushPeer(m) // preserve per-peer ordering
-			return
-		}
-		s.tryVIASend(m)
-		return
-	}
-	if s.sendBlocked {
-		s.outQ = append(s.outQ, outMsg{dst: dst, params: p})
-		return
-	}
-	s.trySend(outMsg{dst: dst, params: p})
-}
-
-func (s *Server) pushPeer(m outMsg) {
-	if len(s.peerQ[m.dst]) >= peerQCap {
-		return // overflow: shed the message, the request times out
-	}
-	s.peerQ[m.dst] = append(s.peerQ[m.dst], m)
-}
-
-// tryVIASend attempts one send on a credit-managed channel; pushback only
-// defers traffic for that one peer. Returns false if the message was
-// deferred.
-func (s *Server) tryVIASend(m outMsg) bool {
-	pc := s.conns[m.dst]
-	if pc == nil || !pc.Established() {
-		return true // peer gone; drop
-	}
-	p := m.params
-	if s.interpose != nil {
-		s.interpose(&p)
-	}
-	err := pc.Send(p)
-	switch {
-	case err == nil:
-		return true
-	case errors.Is(err, comm.ErrWouldBlock):
-		s.pushPeer(m)
-		return false
-	case errors.Is(err, comm.ErrBadDescriptor):
-		if !m.retried {
-			m.retried = true
-			return s.tryVIASend(m)
-		}
-		return true
-	default:
-		return true // broken channels are handled by onBreak
-	}
-}
-
-func (s *Server) drainPeer(dst int) {
-	for len(s.peerQ[dst]) > 0 {
-		q := s.peerQ[dst]
-		m := q[0]
-		s.peerQ[dst] = q[1:]
-		pc := s.conns[dst]
-		if pc == nil || !pc.Established() {
-			delete(s.peerQ, dst)
-			return
-		}
-		p := m.params
-		if s.interpose != nil {
-			s.interpose(&p)
-		}
-		err := pc.Send(p)
-		if errors.Is(err, comm.ErrWouldBlock) {
-			// Put it back and wait for the next writable signal.
-			s.peerQ[dst] = append([]outMsg{m}, s.peerQ[dst]...)
-			return
-		}
-		if errors.Is(err, comm.ErrBadDescriptor) && !m.retried {
-			m.retried = true
-			s.peerQ[dst] = append([]outMsg{m}, s.peerQ[dst]...)
-		}
-		if !s.alive {
-			return
-		}
-	}
-	delete(s.peerQ, dst)
-}
-
-// trySend attempts one send; on flow-control pushback it blocks the main
-// loop (returns false).
-func (s *Server) trySend(m outMsg) bool {
-	pc := s.conns[m.dst]
-	if pc == nil || !pc.Established() {
-		return true // peer gone; drop, reconfiguration handles the rest
-	}
-	p := m.params
-	if s.interpose != nil {
-		s.interpose(&p)
-	}
-	err := pc.Send(p)
-	switch {
-	case err == nil:
-		return true
-	case errors.Is(err, comm.ErrWouldBlock):
-		s.outQ = append([]outMsg{m}, s.outQ...)
-		if !s.sendBlocked {
-			s.sendBlocked = true
-			s.node.CPU.Block()
-		}
-		return false
-	case errors.Is(err, comm.ErrBadDescriptor):
-		// §7 robust layer: the corrupted call was rejected up front
-		// and the channel is intact, so the server simply reissues
-		// the send with its (good) original parameters.
-		if !m.retried {
-			m.retried = true
-			return s.trySend(m)
-		}
-		return true
-	case errors.Is(err, comm.ErrEFAULT):
-		// Synchronous kernel rejection of a bad pointer: PRESS
-		// fail-fasts on the unexpected errno.
-		s.failFast(err)
-		return true
-	default: // ErrBroken and friends: drop, break callback reconfigures
-		return true
-	}
-}
-
-func (s *Server) drainOut() {
-	for len(s.outQ) > 0 {
-		m := s.outQ[0]
-		s.outQ = s.outQ[1:]
-		if !s.trySend(m) {
-			return // re-blocked (trySend re-queued the message)
-		}
-		if !s.alive {
-			return
-		}
-	}
-	if s.sendBlocked {
-		s.sendBlocked = false
-		s.node.CPU.Unblock()
-	}
-}
-
-// dropQueuedTo removes queued messages for a removed peer.
-func (s *Server) dropQueuedTo(dst int) {
-	kept := s.outQ[:0]
-	for _, m := range s.outQ {
-		if m.dst != dst {
-			kept = append(kept, m)
-		}
-	}
-	s.outQ = kept
-	delete(s.peerQ, dst)
-}
-
 // ---- receiving ----
 
-func (s *Server) onMessage(pc peerConn, d delivered) {
+func (s *Server) onMessage(pc substrate.PeerConn, d substrate.Delivered) {
 	if !s.alive {
-		d.release()
+		d.Release()
 		return
 	}
 	// The receive helper thread drains the channel: while the process is
@@ -623,45 +412,45 @@ func (s *Server) onMessage(pc peerConn, d delivered) {
 	if s.deferIfStopped(func() { s.onMessage(pc, d) }) {
 		return
 	}
-	w, ok := d.msg.Payload.(wire)
+	w, ok := d.Msg.Payload.(wire)
 	if !ok {
-		d.release()
+		d.Release()
 		return
 	}
 	// Drained promptly by the helper thread, independent of the main
 	// loop; processing backlog lives in the application, not the kernel.
-	d.release()
+	d.Release()
 	s.loads[w.From] = w.Load
-	switch d.msg.Kind {
+	switch d.Msg.Kind {
 	case msgHeartbeat:
 		// Handled by the heartbeat thread directly: heartbeat receipt
 		// must not depend on the (possibly blocked) main loop.
-		s.lastHB[w.From] = s.k().Now()
+		s.det.noteHeartbeat(w.From)
 	case msgNodeDown:
 		// Membership control is also main-loop independent.
 		s.reconfigure(w.Node, false)
 	default:
 		cost := s.cost.RecvSmall
-		if d.msg.Kind == msgFileData || d.msg.Kind == msgCacheSummary {
+		if d.Msg.Kind == msgFileData || d.Msg.Kind == msgCacheSummary {
 			cost = s.cost.RecvData
 		}
 		s.node.CPU.Submit(cost, func() {
 			if !s.alive {
 				return
 			}
-			if d.corrupt {
+			if d.Corrupt {
 				// Garbage payload (off-by-N pointer upstream):
 				// the parser trips over it and the process
 				// fail-fasts.
 				s.failFast(comm.ErrStreamCorrupt)
 				return
 			}
-			s.handleMsg(pc, d.msg.Kind, w)
+			s.handleMsg(pc, d.Msg.Kind, w)
 		})
 	}
 }
 
-func (s *Server) handleMsg(pc peerConn, kind int, w wire) {
+func (s *Server) handleMsg(pc substrate.PeerConn, kind int, w wire) {
 	switch kind {
 	case msgForward:
 		s.handleForward(w)
@@ -687,179 +476,10 @@ func (s *Server) handleMsg(pc peerConn, kind int, w wire) {
 	}
 }
 
-func (s *Server) dirRemove(file, node int) {
-	if m, ok := s.dir[file]; ok {
-		m &^= 1 << uint(node)
-		if m == 0 {
-			delete(s.dir, file)
-		} else {
-			s.dir[file] = m
-		}
-	}
-}
-
-// ---- client request path ----
-
-// acceptRequest is called by the deployment when the kernel accepts a
-// client connection for this process.
-func (s *Server) acceptRequest(r *workload.Request) {
-	s.node.CPU.Submit(s.cost.ClientHandle, func() {
-		if !s.alive {
-			r.Fail(metrics.Refused)
-			return
-		}
-		if r.Settled() {
-			return // client gave up while we were queued
-		}
-		s.inflight++
-		s.route(r)
-	})
-}
-
-func (s *Server) route(r *workload.Request) {
-	f := r.File
-	if s.cache.Touch(f) {
-		cost := s.cost.CacheRead
-		if s.cfg.Version.ZeroCopy() {
-			cost = s.cost.CacheReadZeroCopy
-		}
-		s.node.CPU.Submit(cost, func() {
-			if s.alive {
-				s.finish(r)
-			}
-		})
-		return
-	}
-	if svc, ok := s.pickService(f); ok {
-		s.forward(r, svc)
-		return
-	}
-	// Nobody caches it: the content-based distribution assigns every
-	// file a home node; the home fetches from its disk and starts
-	// caching, so locality stays stable across the cluster.
-	if home := f % s.cfg.Nodes; home != s.id && s.members[home] {
-		s.forward(r, home)
-		return
-	}
-	// We are the home (or the home is down): fetch from the local disk
-	// and start caching.
-	s.disk().Read(func() {
-		if !s.alive {
-			r.Fail(metrics.Refused)
-			return
-		}
-		s.node.CPU.Submit(s.cost.CacheInsert, func() {
-			if !s.alive {
-				r.Fail(metrics.Refused)
-				return
-			}
-			s.insertFile(r.File)
-			s.finish(r)
-		})
-	})
-}
-
-// forward dispatches a client request to a service node.
-func (s *Server) forward(r *workload.Request, svc int) {
-	s.nextReqID++
-	id := s.nextReqID
-	s.pending[id] = pendingFwd{req: r, svc: svc}
-	s.send(svc, msgForward, wire{ReqID: id, File: r.File}, smallMsgSize, s.cost.SendSmall)
-}
-
-// pickService returns the least-loaded member caching f.
-func (s *Server) pickService(f int) (int, bool) {
-	mask := s.dir[f]
-	best, bestLoad, found := 0, 0, false
-	for n := 0; n < s.cfg.Nodes; n++ {
-		if n == s.id || mask&(1<<uint(n)) == 0 || !s.members[n] {
-			continue
-		}
-		if !found || s.loads[n] < bestLoad {
-			best, bestLoad, found = n, s.loads[n], true
-		}
-	}
-	return best, found
-}
-
-func (s *Server) finish(r *workload.Request) {
-	r.Complete()
-	if s.inflight > 0 {
-		s.inflight--
-	}
-}
-
-func (s *Server) insertFile(f int) {
-	evicted, ok := s.cache.Insert(f)
-	for _, ev := range evicted {
-		s.dirRemove(ev, s.id)
-		s.broadcast(msgCacheEvict, wire{File: ev}, smallMsgSize, s.cost.SendSmall)
-	}
-	if ok {
-		s.dir[f] |= 1 << uint(s.id)
-		s.broadcast(msgCacheAdd, wire{File: f}, smallMsgSize, s.cost.SendSmall)
-	}
-}
-
-// handleForward serves a request forwarded by an initial node.
-func (s *Server) handleForward(w wire) {
-	reply := func() {
-		s.send(w.From, msgFileData, wire{ReqID: w.ReqID},
-			int(s.cfg.FileSize), s.cost.SendData)
-	}
-	if s.cache.Touch(w.File) {
-		cost := s.cost.CacheRead
-		if s.cfg.Version.ZeroCopy() {
-			cost = s.cost.CacheReadZeroCopy
-		}
-		s.node.CPU.Submit(cost, func() {
-			if s.alive {
-				reply()
-			}
-		})
-		return
-	}
-	// Directory was stale: serve from disk and start caching here.
-	s.disk().Read(func() {
-		if !s.alive {
-			return
-		}
-		s.node.CPU.Submit(s.cost.CacheInsert, func() {
-			if !s.alive {
-				return
-			}
-			s.insertFile(w.File)
-			reply()
-		})
-	})
-}
-
-func (s *Server) disk() *Disk { return s.d.Disks[s.id] }
-
-// sweepPending drops forwarded requests whose clients already timed out
-// and fixes the in-flight accounting for them.
-func (s *Server) sweepPending() {
-	if !s.alive {
-		return
-	}
-	for id, p := range s.pending {
-		if p.req.Settled() {
-			delete(s.pending, id)
-			if s.inflight > 0 {
-				s.inflight--
-			}
-		}
-	}
-}
-
 // DebugState is a diagnostic snapshot used during development.
 func (s *Server) DebugState() string {
-	pq := 0
-	for _, q := range s.peerQ {
-		pq += len(q)
-	}
-	return fmt.Sprintf("n%d members=%v inflight=%d pending=%d outQ=%d peerQ=%d blocked=%v",
-		s.id, s.Members(), s.inflight, len(s.pending), len(s.outQ), pq, s.sendBlocked)
+	return fmt.Sprintf("n%d members=%v inflight=%d pending=%d %s",
+		s.id, s.Members(), s.inflight, len(s.pending), s.engine.queueDebug())
 }
 
 // DirStats summarises directory attribution per node (diagnostics).

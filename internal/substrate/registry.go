@@ -1,0 +1,46 @@
+package substrate
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Factory builds one node's transport. opts is the implementation's
+// options type (or nil for defaults); a factory must reject types it does
+// not understand rather than guess.
+type Factory func(env NodeEnv, opts any) (Transport, error)
+
+var registry = map[string]Factory{}
+
+// Register installs a substrate implementation under a unique name.
+// Implementations call it from an init function; it panics on duplicates
+// because two layers claiming one name is a programming error, not a
+// runtime condition.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("substrate: Register needs a name and a factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("substrate: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New instantiates the named substrate for one node.
+func New(name string, env NodeEnv, opts any) (Transport, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("substrate: unknown substrate %q (registered: %v)", name, Names())
+	}
+	return f(env, opts)
+}
+
+// Names returns the registered substrate names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,51 @@
+package substrate
+
+import (
+	"strings"
+	"testing"
+)
+
+type fakeTransport struct{}
+
+func (fakeTransport) Listen(func(PeerConn))           {}
+func (fakeTransport) Unlisten()                       {}
+func (fakeTransport) Dial(int, func(PeerConn, error)) {}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	Register("test-fake", func(env NodeEnv, opts any) (Transport, error) {
+		return fakeTransport{}, nil
+	})
+	tr, err := New("test-fake", NodeEnv{}, nil)
+	if err != nil || tr == nil {
+		t.Fatalf("New(test-fake) = %v, %v", tr, err)
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test-fake" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v, missing test-fake", Names())
+	}
+}
+
+func TestUnknownSubstrateListsRegistered(t *testing.T) {
+	_, err := New("no-such-layer", NodeEnv{}, nil)
+	if err == nil {
+		t.Fatal("expected error for unknown substrate")
+	}
+	if !strings.Contains(err.Error(), "no-such-layer") || !strings.Contains(err.Error(), "registered") {
+		t.Fatalf("error should name the request and list registered substrates: %v", err)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register("test-dup", func(NodeEnv, any) (Transport, error) { return nil, nil })
+	Register("test-dup", func(NodeEnv, any) (Transport, error) { return nil, nil })
+}

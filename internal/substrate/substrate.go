@@ -1,0 +1,92 @@
+// Package substrate defines the service-provider interface between a
+// cluster service and its intra-cluster communication layer, plus a named
+// registry of implementations.
+//
+// The paper's central experiment holds the server constant and swaps the
+// communication architecture underneath it (kernel TCP vs user-level VIA,
+// Table 1); this package is that seam made explicit. A substrate supplies
+// one [Transport] per node — a factory for [PeerConn] channels to other
+// nodes — and reports events through [Callbacks]. Everything the service
+// observes about the substrate flows through these three types: send
+// errors (flow-control pushback, synchronous faults), delivery (including
+// corruption), channel breaks, and fatal errors. The *error semantics*
+// carried by those calls are exactly what distinguishes the substrates:
+// TCP hides faults behind timeout-and-retry and surfaces minute-scale
+// breaks, VIA fail-stops a channel in about a second.
+//
+// Implementations live in subpackages (substrate/tcp, substrate/via) and
+// register themselves by name in an init function; services select one
+// with a [Spec] and instantiate it per node via [New]. The registry is
+// what lets a new communication layer plug in without the service core
+// changing — registering a factory is the whole integration surface.
+package substrate
+
+import (
+	"vivo/internal/cluster"
+	"vivo/internal/comm"
+	"vivo/internal/osmodel"
+	"vivo/internal/sim"
+)
+
+// Delivered is one substrate-independent received message. Corrupt marks
+// a payload damaged in flight (e.g. an off-by-N pointer upstream);
+// Release returns the receive buffer to the substrate and must be called
+// exactly once.
+type Delivered struct {
+	Msg     comm.Message
+	Corrupt bool
+	Release func()
+}
+
+// Callbacks is the event interface a service binds to each channel.
+type Callbacks struct {
+	OnMessage  func(pc PeerConn, d Delivered)
+	OnWritable func(pc PeerConn)
+	OnBreak    func(pc PeerConn, err error)
+	// OnFatal reports unrecoverable substrate errors (TCP stream desync,
+	// VIA descriptor error completion); fail-fast services terminate.
+	OnFatal func(pc PeerConn, err error)
+}
+
+// PeerConn abstracts one established channel to a peer, hiding whether it
+// is a TCP connection or a VI.
+type PeerConn interface {
+	// Remote returns the peer node id.
+	Remote() int
+	// Established reports whether the channel is usable.
+	Established() bool
+	// Send posts one message. Errors follow the substrate's semantics
+	// (comm.ErrWouldBlock, comm.ErrEFAULT, comm.ErrBroken, ...).
+	Send(p comm.SendParams) error
+	// Close tears the channel down locally, notifying the peer.
+	Close()
+	// Bind installs the service's callbacks.
+	Bind(cb Callbacks)
+}
+
+// Transport is a node's substrate endpoint: it accepts inbound channels
+// and dials outbound ones.
+type Transport interface {
+	Listen(accept func(pc PeerConn))
+	Unlisten()
+	Dial(dst int, cb func(pc PeerConn, err error))
+}
+
+// NodeEnv is everything a substrate factory may need to build one node's
+// transport: the shared event kernel and hardware, plus the node and its
+// OS model (kernel memory, pinnable pages).
+type NodeEnv struct {
+	K    *sim.Kernel
+	HW   *cluster.Cluster
+	Node *cluster.Node
+	OS   *osmodel.OS
+}
+
+// Spec names a registered substrate together with the options its factory
+// understands. A zero Opts selects the implementation's defaults. Specs
+// are plain data: version registries and configs carry them around and
+// hand them to New at deployment time.
+type Spec struct {
+	Name string
+	Opts any
+}

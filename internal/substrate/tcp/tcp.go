@@ -1,0 +1,87 @@
+// Package tcp adapts the simulated kernel TCP stack (internal/tcpsim) to
+// the substrate SPI and registers it as substrate "tcp".
+//
+// The adapter is deliberately thin: all TCP behaviour — byte-stream
+// framing, retransmission with exponential backoff, minute-scale aborts,
+// RSTs, synchronous EFAULT, stream desync on size faults — lives in
+// tcpsim. This package only translates tcpsim's handler callbacks into
+// [substrate.Callbacks] and its *tcpsim.Conn into a [substrate.PeerConn].
+package tcp
+
+import (
+	"fmt"
+
+	"vivo/internal/comm"
+	"vivo/internal/substrate"
+	"vivo/internal/tcpsim"
+)
+
+// Name is the registry name of this substrate.
+const Name = "tcp"
+
+// Options parameterizes the TCP substrate. The zero value is NOT the
+// default; use DefaultOptions and adjust fields.
+type Options struct {
+	Config tcpsim.Config
+}
+
+// DefaultOptions returns the stack's defaults (Linux-2.2-era timer and
+// buffer parameters; see tcpsim.DefaultConfig).
+func DefaultOptions() Options {
+	return Options{Config: tcpsim.DefaultConfig()}
+}
+
+// Spec wraps options into a registry spec for this substrate.
+func Spec(o Options) substrate.Spec {
+	return substrate.Spec{Name: Name, Opts: o}
+}
+
+func init() {
+	substrate.Register(Name, func(env substrate.NodeEnv, opts any) (substrate.Transport, error) {
+		o := DefaultOptions()
+		switch v := opts.(type) {
+		case nil:
+		case Options:
+			o = v
+		default:
+			return nil, fmt.Errorf("substrate/tcp: options must be tcp.Options, got %T", opts)
+		}
+		return transport{st: tcpsim.NewStack(env.K, env.HW, env.Node, env.OS, o.Config)}, nil
+	})
+}
+
+type transport struct{ st *tcpsim.Stack }
+
+func (t transport) Listen(accept func(substrate.PeerConn)) {
+	t.st.Listen(func(c *tcpsim.Conn) { accept(&conn{c: c}) })
+}
+
+func (t transport) Unlisten() { t.st.Listen(nil) }
+
+func (t transport) Dial(dst int, cb func(substrate.PeerConn, error)) {
+	t.st.Dial(dst, func(c *tcpsim.Conn, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(&conn{c: c}, nil)
+	})
+}
+
+type conn struct{ c *tcpsim.Conn }
+
+func (tc *conn) Remote() int                  { return tc.c.Remote() }
+func (tc *conn) Established() bool            { return tc.c.Established() }
+func (tc *conn) Send(p comm.SendParams) error { return tc.c.Send(p) }
+func (tc *conn) Close()                       { tc.c.Abort() }
+
+func (tc *conn) Bind(cb substrate.Callbacks) {
+	tc.c.Handler = tcpsim.Handler{
+		OnMessage: func(_ *tcpsim.Conn, d *tcpsim.Delivered) {
+			cb.OnMessage(tc, substrate.Delivered{Msg: d.Msg, Corrupt: d.Corrupt, Release: d.Release})
+		},
+		OnWritable: func(*tcpsim.Conn) { cb.OnWritable(tc) },
+		OnBreak:    func(_ *tcpsim.Conn, err error) { cb.OnBreak(tc, err) },
+		OnFatal:    func(_ *tcpsim.Conn, err error) { cb.OnFatal(tc, err) },
+	}
+}

@@ -1,0 +1,99 @@
+// Package via adapts the simulated user-level VIA NIC (internal/viasim)
+// to the substrate SPI and registers it as substrate "via".
+//
+// VIA behaviour — message descriptors, pre-allocated pinned buffers,
+// credit flow control, ~1 s fail-stop channel breaks, remote writes with
+// both-end error reporting, optional synchronous descriptor validation
+// (the §7 robust layer) — lives in viasim. This package translates
+// viasim's handler callbacks into [substrate.Callbacks]; viasim's OnError
+// (asynchronous descriptor error completion) maps to the SPI's OnFatal,
+// matching how a fail-fast service treats it.
+package via
+
+import (
+	"fmt"
+
+	"vivo/internal/comm"
+	"vivo/internal/substrate"
+	"vivo/internal/viasim"
+)
+
+// Name is the registry name of this substrate.
+const Name = "via"
+
+// Options parameterizes the VIA substrate. RemoteWrites selects the
+// RDMA-write data path on every send (VIA-PRESS-3/5); the zero value is
+// NOT the default config, use DefaultOptions and adjust fields.
+type Options struct {
+	Config       viasim.Config
+	RemoteWrites bool
+}
+
+// DefaultOptions returns the NIC's defaults (see viasim.DefaultConfig).
+func DefaultOptions() Options {
+	return Options{Config: viasim.DefaultConfig()}
+}
+
+// Spec wraps options into a registry spec for this substrate.
+func Spec(o Options) substrate.Spec {
+	return substrate.Spec{Name: Name, Opts: o}
+}
+
+func init() {
+	substrate.Register(Name, func(env substrate.NodeEnv, opts any) (substrate.Transport, error) {
+		o := DefaultOptions()
+		switch v := opts.(type) {
+		case nil:
+		case Options:
+			o = v
+		default:
+			return nil, fmt.Errorf("substrate/via: options must be via.Options, got %T", opts)
+		}
+		return transport{
+			nic:          viasim.NewNIC(env.K, env.HW, env.Node, env.OS, o.Config),
+			remoteWrites: o.RemoteWrites,
+		}, nil
+	})
+}
+
+type transport struct {
+	nic          *viasim.NIC
+	remoteWrites bool
+}
+
+func (t transport) Listen(accept func(substrate.PeerConn)) {
+	t.nic.Listen(func(v *viasim.VI) { accept(&conn{v: v, rw: t.remoteWrites}) })
+}
+
+func (t transport) Unlisten() { t.nic.Listen(nil) }
+
+func (t transport) Dial(dst int, cb func(substrate.PeerConn, error)) {
+	t.nic.Dial(dst, func(v *viasim.VI, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(&conn{v: v, rw: t.remoteWrites}, nil)
+	})
+}
+
+type conn struct {
+	v  *viasim.VI
+	rw bool
+}
+
+func (vc *conn) Remote() int                  { return vc.v.Remote() }
+func (vc *conn) Established() bool            { return vc.v.Established() }
+func (vc *conn) Send(p comm.SendParams) error { return vc.v.Send(p, vc.rw) }
+func (vc *conn) Close()                       { vc.v.Disconnect() }
+
+func (vc *conn) Bind(cb substrate.Callbacks) {
+	vc.v.Handler = viasim.Handler{
+		OnMessage: func(_ *viasim.VI, d *viasim.Delivered) {
+			cb.OnMessage(vc, substrate.Delivered{Msg: d.Msg, Corrupt: d.Corrupt, Release: d.Release})
+		},
+		OnWritable: func(*viasim.VI) { cb.OnWritable(vc) },
+		OnBreak:    func(_ *viasim.VI, err error) { cb.OnBreak(vc, err) },
+		OnError:    func(_ *viasim.VI, err error) { cb.OnFatal(vc, err) },
+	}
+}
