@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify vet race race-full race-fast golden ci bench-campaign
+.PHONY: all build test verify vet race race-full race-fast golden trace-smoke ci bench-campaign
 
 all: verify
 
@@ -48,7 +48,21 @@ race-fast:
 golden:
 	$(GO) test ./internal/experiments -run TestGoldenSeed1 -timeout 60m -v
 
-ci: vet verify race golden
+# Trace smoke test: capture a short traced fault run twice, check the
+# two files are byte-identical (determinism) and structurally valid
+# Chrome trace-event JSON (tracecheck). Small windows keep it a few
+# seconds and a few MB.
+TRACE_SMOKE_FLAGS = -version TCP-PRESS-HB -fault link-down \
+	-stabilize 5s -fault-duration 10s -observe 10s -load 0.1
+trace-smoke:
+	rm -rf /tmp/vivo-trace-smoke && mkdir -p /tmp/vivo-trace-smoke
+	$(GO) run ./cmd/faultinject $(TRACE_SMOKE_FLAGS) -trace /tmp/vivo-trace-smoke/a.trace.json
+	$(GO) run ./cmd/faultinject $(TRACE_SMOKE_FLAGS) -trace /tmp/vivo-trace-smoke/b.trace.json
+	cmp /tmp/vivo-trace-smoke/a.trace.json /tmp/vivo-trace-smoke/b.trace.json
+	$(GO) run ./cmd/tracecheck /tmp/vivo-trace-smoke/a.trace.json
+	rm -rf /tmp/vivo-trace-smoke
+
+ci: vet verify race golden trace-smoke
 
 # Serial vs parallel full-campaign wall clock (see EXPERIMENTS.md,
 # "Runtime"). Each iteration is a complete 60-run campaign.

@@ -7,6 +7,7 @@ package vivo_test
 // at paper scale and EXPERIMENTS.md records those results.
 
 import (
+	"io"
 	"testing"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"vivo/internal/sim"
 	subvia "vivo/internal/substrate/via"
 	"vivo/internal/tcpsim"
+	"vivo/internal/trace"
 	"vivo/internal/viasim"
 	"vivo/internal/workload"
 )
@@ -336,6 +338,40 @@ func BenchmarkAblationFraming(b *testing.B) {
 			b.ReportMetric(restarts, "restarts")
 		})
 	}
+}
+
+// ---- Tracing overhead (DESIGN.md §9) ----
+
+// BenchmarkTracing measures what event tracing adds to a complete traced
+// fault run: disabled (nil sink — the default for every experiment), the
+// in-memory recorder, and the Perfetto JSON writer into io.Discard.
+// Disabled must be indistinguishable from the pre-tracing code path;
+// the sinks put a price on observing a run.
+func BenchmarkTracing(b *testing.B) {
+	opt := experiments.Quick()
+	opt.Stabilize = 5 * time.Second
+	opt.FaultDuration = 10 * time.Second
+	opt.Observe = 10 * time.Second
+	opt.LoadFraction = 0.1
+	run := func(b *testing.B, sink func() trace.Sink) {
+		b.Helper()
+		var tput float64
+		for i := 0; i < b.N; i++ {
+			fr := experiments.RunFaultTrace(press.TCPPressHB, faults.LinkDown, opt, sink())
+			tput = fr.Measured.Tn
+		}
+		// Identical across sub-benchmarks: tracing must not change results.
+		b.ReportMetric(tput, "normal-reqps")
+	}
+	b.Run("disabled", func(b *testing.B) {
+		run(b, func() trace.Sink { return nil })
+	})
+	b.Run("recorder", func(b *testing.B) {
+		run(b, func() trace.Sink { return &trace.Recorder{} })
+	})
+	b.Run("json-discard", func(b *testing.B) {
+		run(b, func() trace.Sink { return trace.NewJSON(io.Discard) })
+	})
 }
 
 // Micro-benchmarks of the simulators themselves: simulation cost of moving

@@ -5,36 +5,45 @@
 // fanning the 11 independent simulations out across -parallel workers
 // (default: GOMAXPROCS), and prints the one-line stage summary of each.
 //
+// -trace captures the run's deterministic event stream as a
+// Perfetto-loadable JSON timeline (with -fault all, -trace names a
+// directory that receives one file per fault). The experiment-protocol
+// flags (-stabilize, -fault-duration, -observe, -load) shorten or
+// lengthen the run; short windows keep trace files small.
+//
 // Usage:
 //
-//	faultinject [-version TCP-PRESS] [-fault link-down|all] [-full] [-seed 1] [-parallel N]
+//	faultinject [-version TCP-PRESS] [-fault link-down|all] [-full] [-seed 1]
+//	            [-parallel N] [-stabilize 30s] [-fault-duration 60s] [-observe 120s]
+//	            [-load 0.5] [-trace out.trace.json] [-csv]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"strings"
+	"os"
 
+	"vivo/internal/cli"
 	"vivo/internal/experiments"
-	"vivo/internal/faults"
-	"vivo/internal/press"
+	"vivo/internal/trace"
 )
 
 func main() {
-	versionName := flag.String("version", "TCP-PRESS", "PRESS version")
-	faultName := flag.String("fault", "link-down", "fault to inject (see Table 2 names), or \"all\" for the whole column")
+	versionName := cli.VersionFlag("TCP-PRESS")
+	faultName := cli.FaultFlag("link-down")
 	full := flag.Bool("full", false, "paper-scale deployment (slower)")
-	seed := flag.Int64("seed", 1, "deterministic seed")
-	parallel := flag.Int("parallel", 0, "concurrent runs with -fault all (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+	seed := cli.SeedFlag()
+	parallel := cli.ParallelFlag()
+	stabilize := flag.Duration("stabilize", 0, "pre-injection steady period (0 = scale default)")
+	faultDur := flag.Duration("fault-duration", 0, "component downtime for transient faults (0 = scale default)")
+	observe := flag.Duration("observe", 0, "post-repair observation window (0 = scale default)")
+	load := flag.Float64("load", 0, "offered load as a fraction of Table-1 capacity (0 = scale default)")
+	tracePath := cli.TraceFlag("this file (a directory with -fault all)")
 	csv := flag.Bool("csv", false, "emit the timeline as CSV instead of text")
 	flag.Parse()
 
-	version, found := press.VersionByName(*versionName)
-	if !found {
-		log.Fatalf("unknown version %q (valid: %s)",
-			*versionName, strings.Join(press.VersionNames(), ", "))
-	}
+	version := cli.MustVersion(*versionName)
 
 	opt := experiments.Quick()
 	if *full {
@@ -42,30 +51,54 @@ func main() {
 	}
 	opt.Seed = *seed
 	opt.Parallel = *parallel
+	if *stabilize > 0 {
+		opt.Stabilize = *stabilize
+	}
+	if *faultDur > 0 {
+		opt.FaultDuration = *faultDur
+	}
+	if *observe > 0 {
+		opt.Observe = *observe
+	}
+	if *load > 0 {
+		opt.LoadFraction = *load
+	}
 
 	if *faultName == "all" {
+		if *tracePath != "" {
+			if err := os.MkdirAll(*tracePath, 0o755); err != nil {
+				log.Fatalf("create trace directory: %v", err)
+			}
+			opt.TraceDir = *tracePath
+		}
 		for _, fr := range experiments.RunFaultColumn(version, opt) {
 			fmt.Println(fr.String())
+		}
+		if opt.TraceDir != "" {
+			fmt.Printf("traces written to %s/\n", opt.TraceDir)
 		}
 		return
 	}
 
-	var fault faults.Type
-	found = false
-	for _, ft := range faults.AllTypes {
-		if ft.String() == *faultName {
-			fault, found = ft, true
-		}
-	}
-	if !found {
-		var names []string
-		for _, ft := range faults.AllTypes {
-			names = append(names, ft.String())
-		}
-		log.Fatalf("unknown fault %q; available: %v (or \"all\")", *faultName, names)
-	}
+	fault := cli.MustFault(*faultName)
 
-	fr := experiments.RunFault(version, fault, opt)
+	var fr experiments.FaultRun
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatalf("create trace file: %v", err)
+		}
+		w := trace.NewJSON(f)
+		fr = experiments.RunFaultTrace(version, fault, opt, w)
+		if err := w.Close(); err != nil {
+			log.Fatalf("write trace file: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("close trace file: %v", err)
+		}
+	} else {
+		fr = experiments.RunFault(version, fault, opt)
+	}
 	if *csv {
 		fmt.Print(fr.Timeline.CSV())
 		return
@@ -79,4 +112,7 @@ func main() {
 	fmt.Printf("  D: %6.1fs @ %6.0f req/s   (recovery transient)\n", m.DD.Seconds(), m.TD)
 	fmt.Printf("  E:         @ %6.0f req/s   (post-recovery)\n", m.TE)
 	fmt.Printf("  splintered at end: %v (operator reset required)\n", m.Splintered)
+	if *tracePath != "" {
+		fmt.Printf("trace written to %s\n", *tracePath)
+	}
 }

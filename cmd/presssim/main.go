@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	presssim [-version VIA-PRESS-5] [-rate 6000] [-duration 60s] [-seed 1] [-v]
+//	presssim [-version VIA-PRESS-5] [-rate 6000] [-duration 60s] [-seed 1]
+//	         [-log access.log] [-trace run.trace.json] [-v]
 package main
 
 import (
@@ -13,9 +14,9 @@ import (
 	"log"
 	"math/rand"
 	"os"
-	"strings"
 	"time"
 
+	"vivo/internal/cli"
 	"vivo/internal/metrics"
 	"vivo/internal/press"
 	"vivo/internal/sim"
@@ -23,24 +24,21 @@ import (
 )
 
 func main() {
-	versionName := flag.String("version", "VIA-PRESS-5",
-		"PRESS version ("+strings.Join(press.VersionNames(), ", ")+")")
+	versionName := cli.VersionFlag("VIA-PRESS-5")
 	rate := flag.Float64("rate", 6000, "offered client load, requests/second")
 	duration := flag.Duration("duration", 60*time.Second, "simulated run length")
-	seed := flag.Int64("seed", 1, "deterministic seed")
+	seed := cli.SeedFlag()
 	verbose := flag.Bool("v", false, "print per-second timeline")
 	logPath := flag.String("log", "", "replay a Common Log Format access log instead of the synthetic Zipf trace")
+	tracePath := cli.TraceFlag("this file")
 	flag.Parse()
 
-	v, ok := press.VersionByName(*versionName)
-	if !ok {
-		log.Fatalf("unknown version %q (valid: %s)",
-			*versionName, strings.Join(press.VersionNames(), ", "))
-	}
+	v := cli.MustVersion(*versionName)
 
 	k := sim.New(*seed)
+	finishTrace := cli.StartTrace(k, *tracePath)
 	cfg := press.DefaultConfig(v)
-	var trace workload.Sampler
+	var sampler workload.Sampler
 	if *logPath != "" {
 		f, err := os.Open(*logPath)
 		if err != nil {
@@ -54,9 +52,9 @@ func main() {
 		cfg.WorkingSetFiles = lt.Config().Files
 		fmt.Printf("replaying %d requests over %d distinct documents from %s\n",
 			lt.Len(), lt.Config().Files, *logPath)
-		trace = lt
+		sampler = lt
 	} else {
-		trace = workload.NewTrace(workload.TraceConfig{
+		sampler = workload.NewTrace(workload.TraceConfig{
 			Files:    cfg.WorkingSetFiles,
 			FileSize: int(cfg.FileSize),
 			ZipfS:    1.2,
@@ -66,12 +64,13 @@ func main() {
 	d := press.NewDeployment(k, cfg)
 	d.Start()
 	d.WarmStart()
-	cl := workload.NewClients(k, workload.DefaultClients(*rate, cfg.Nodes), trace, d, rec)
+	cl := workload.NewClients(k, workload.DefaultClients(*rate, cfg.Nodes), sampler, d, rec)
 	cl.Start()
 
 	start := time.Now()
 	k.Run(*duration)
 	wall := time.Since(start)
+	finishTrace()
 
 	served, failed := rec.Totals()
 	fmt.Printf("%s: %v simulated in %v wall (%d events)\n", v, *duration, wall.Round(time.Millisecond), k.Steps())

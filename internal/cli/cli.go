@@ -1,0 +1,105 @@
+// Package cli holds the flag definitions and helpers shared by the
+// command-line frontends (cmd/presssim, cmd/faultinject, ...), so every
+// command documents the same flag the same way. In particular, any
+// command with a -version flag lists the registered PRESS version names
+// in its -h output — including extensions registered after the built-ins
+// — instead of each main.go hand-maintaining (or forgetting) the list.
+package cli
+
+import (
+	"flag"
+	"log"
+	"os"
+	"strings"
+
+	"vivo/internal/faults"
+	"vivo/internal/press"
+	"vivo/internal/sim"
+	"vivo/internal/trace"
+)
+
+// VersionFlag registers the standard -version flag. The help text names
+// every registered version, queried from the registry at startup.
+func VersionFlag(def string) *string {
+	return flag.String("version", def,
+		"PRESS version ("+strings.Join(press.VersionNames(), ", ")+")")
+}
+
+// MustVersion resolves a version name or exits with the valid list.
+func MustVersion(name string) press.Version {
+	v, ok := press.VersionByName(name)
+	if !ok {
+		log.Fatalf("unknown version %q (valid: %s)",
+			name, strings.Join(press.VersionNames(), ", "))
+	}
+	return v
+}
+
+// FaultFlag registers the standard -fault flag, listing the Table-2
+// fault names plus the "all" pseudo-fault.
+func FaultFlag(def string) *string {
+	return flag.String("fault", def,
+		"fault to inject ("+strings.Join(FaultNames(), ", ")+"), or \"all\" for the whole column")
+}
+
+// FaultNames returns the injectable fault names in Table-2 order.
+func FaultNames() []string {
+	names := make([]string, len(faults.AllTypes))
+	for i, ft := range faults.AllTypes {
+		names[i] = ft.String()
+	}
+	return names
+}
+
+// MustFault resolves a fault name or exits with the valid list.
+func MustFault(name string) faults.Type {
+	for _, ft := range faults.AllTypes {
+		if ft.String() == name {
+			return ft
+		}
+	}
+	log.Fatalf("unknown fault %q; available: %s (or \"all\")",
+		name, strings.Join(FaultNames(), ", "))
+	panic("unreachable")
+}
+
+// SeedFlag registers the standard -seed flag.
+func SeedFlag() *int64 {
+	return flag.Int64("seed", 1, "deterministic seed (same seed, same results)")
+}
+
+// ParallelFlag registers the standard -parallel flag.
+func ParallelFlag() *int {
+	return flag.Int("parallel", 0,
+		"concurrent simulation runs (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+}
+
+// TraceFlag registers the standard -trace flag. what describes the
+// destination (e.g. "this file" or "this file (a directory with -fault all)").
+func TraceFlag(what string) *string {
+	return flag.String("trace", "",
+		"write a deterministic Perfetto-loadable event trace of the run to "+what)
+}
+
+// StartTrace wires a Perfetto JSON trace of kernel k to path and returns
+// a finish function to call after the run. An empty path is a no-op.
+// Errors are fatal: a command asked to trace must trace.
+func StartTrace(k *sim.Kernel, path string) (finish func()) {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("create trace file: %v", err)
+	}
+	w := trace.NewJSON(f)
+	k.SetTracer(trace.New(w))
+	return func() {
+		if err := w.Close(); err != nil {
+			log.Fatalf("write trace file: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("close trace file: %v", err)
+		}
+	}
+}

@@ -44,6 +44,14 @@ type Options struct {
 	// and RunCampaign memoizes ignoring this field.
 	Parallel int
 
+	// TraceDir, when non-empty, makes every RunFault write a
+	// Perfetto-loadable event trace to
+	// TraceDir/<version>_<fault>.trace.json (see TracePath). It is a
+	// side-effect-only field: traces never feed back into results, so
+	// campaign memoization ignores it (and Options stays comparable —
+	// a requirement of the campaign cache key).
+	TraceDir string
+
 	// Env supplies the phase-2 environmental durations.
 	Env core.Environment
 }
@@ -58,9 +66,11 @@ func (o Options) workers() int {
 
 // memoKey normalizes the options for campaign memoization: Parallel does
 // not affect results (same seed ⇒ bit-identical campaign at any worker
-// count), so it must not split the cache.
+// count) and TraceDir is a pure side effect, so neither may split the
+// cache.
 func (o Options) memoKey() Options {
 	o.Parallel = 0
+	o.TraceDir = ""
 	return o
 }
 

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"vivo/internal/metrics"
 	"vivo/internal/press"
 	"vivo/internal/sim"
+	"vivo/internal/trace"
 	"vivo/internal/workload"
 )
 
@@ -32,10 +35,38 @@ type FaultRun struct {
 
 // RunFault performs one fault-injection experiment: warm cluster, steady
 // load, a single fault at TargetNode (or the switch), observation through
-// recovery, and stage extraction.
+// recovery, and stage extraction. When opt.TraceDir is set the run's
+// event trace is written to TracePath(opt.TraceDir, v, ft).
 func RunFault(v press.Version, ft faults.Type, opt Options) FaultRun {
+	if opt.TraceDir == "" {
+		return RunFaultTrace(v, ft, opt, nil)
+	}
+	f, err := os.Create(TracePath(opt.TraceDir, v, ft))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: cannot create trace file: %v", err))
+	}
+	defer f.Close()
+	w := trace.NewJSON(f)
+	fr := RunFaultTrace(v, ft, opt, w)
+	if err := w.Close(); err != nil {
+		panic(fmt.Sprintf("experiments: cannot write trace file: %v", err))
+	}
+	return fr
+}
+
+// TracePath returns the trace file RunFault writes for (v, ft) under dir.
+func TracePath(dir string, v press.Version, ft faults.Type) string {
+	return filepath.Join(dir, fmt.Sprintf("%s_%s.trace.json", v, ft))
+}
+
+// RunFaultTrace is RunFault with an explicit trace sink (nil disables
+// tracing, as does RunFault with an empty TraceDir). The sink receives
+// the run's complete deterministic event stream; tests pass a
+// trace.Recorder or an in-memory trace.JSON here.
+func RunFaultTrace(v press.Version, ft faults.Type, opt Options, sink trace.Sink) FaultRun {
 	seed := opt.Seed*1000 + int64(v)*100 + int64(ft)
 	k := sim.New(seed)
+	k.SetTracer(trace.New(sink))
 	cfg := opt.Config(v)
 	rec := metrics.NewRecorder(k, time.Second)
 	d := press.NewDeployment(k, cfg)

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"time"
+
+	"vivo/internal/faults"
+	"vivo/internal/press"
+	"vivo/internal/trace"
+)
+
+// traceTestOpt shortens every window so a traced run stays cheap: the
+// determinism property does not depend on horizon length.
+func traceTestOpt() Options {
+	opt := Quick()
+	opt.Stabilize = 5 * time.Second
+	opt.FaultDuration = 10 * time.Second
+	opt.Observe = 10 * time.Second
+	opt.LoadFraction = 0.1
+	return opt
+}
+
+func renderTrace(t *testing.T, v press.Version, ft faults.Type, opt Options) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := trace.NewJSON(&buf)
+	RunFaultTrace(v, ft, opt, w)
+	if err := w.Close(); err != nil {
+		t.Fatalf("close trace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceDeterministic pins the tentpole guarantee: the same seed
+// produces a byte-identical trace — across repeated runs, and across
+// campaigns at different worker counts. Traces are a second golden
+// baseline alongside TestGoldenSeed1.
+func TestTraceDeterministic(t *testing.T) {
+	opt := traceTestOpt()
+
+	// Same seed, two runs, byte-identical trace. TCP-PRESS-HB exercises
+	// the widest event surface: sends, recvs, breaks, heartbeat misses,
+	// membership changes, loop blocks, fault inject/heal.
+	a := renderTrace(t, press.TCPPressHB, faults.LinkDown, opt)
+	b := renderTrace(t, press.TCPPressHB, faults.LinkDown, opt)
+	if len(a) == 0 {
+		t.Fatal("trace is empty")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different traces (%d vs %d bytes)", len(a), len(b))
+	}
+
+	// A different seed must give a different trace — otherwise the
+	// comparison above proves nothing.
+	opt2 := opt
+	opt2.Seed = 2
+	c := renderTrace(t, press.TCPPressHB, faults.LinkDown, opt2)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+
+	if testing.Short() {
+		t.Skip("skipping parallel-campaign trace comparison in -short mode")
+	}
+
+	// Figure-2 campaign traces at Parallel=1 vs Parallel=4: each run has
+	// a private kernel and a private sink, so worker count must not leak
+	// into any trace file.
+	dir1, dir4 := t.TempDir(), t.TempDir()
+	o1 := opt
+	o1.Parallel = 1
+	o1.TraceDir = dir1
+	o4 := opt
+	o4.Parallel = 4
+	o4.TraceDir = dir4
+	Figure2(o1)
+	Figure2(o4)
+	for _, v := range []press.Version{press.TCPPress, press.TCPPressHB, press.VIAPress5} {
+		p1 := TracePath(dir1, v, faults.LinkDown)
+		p4 := TracePath(dir4, v, faults.LinkDown)
+		t1, err := os.ReadFile(p1)
+		if err != nil {
+			t.Fatalf("missing trace from serial campaign: %v", err)
+		}
+		t4, err := os.ReadFile(p4)
+		if err != nil {
+			t.Fatalf("missing trace from parallel campaign: %v", err)
+		}
+		if len(t1) == 0 {
+			t.Fatalf("%s: empty trace", p1)
+		}
+		if !bytes.Equal(t1, t4) {
+			t.Errorf("%s: Parallel=1 and Parallel=4 traces differ (%d vs %d bytes)",
+				v, len(t1), len(t4))
+		}
+	}
+}
+
+// TestTraceEventStream sanity-checks the recorded stream of one fault
+// run: every layer shows up, and the fault events carry the injection
+// schedule.
+func TestTraceEventStream(t *testing.T) {
+	opt := traceTestOpt()
+	// The fault must outlast the 15 s heartbeat timeout or detection (and
+	// with it any membership change) never happens.
+	opt.FaultDuration = 30 * time.Second
+	rec := trace.NewRecorder()
+	RunFaultTrace(press.TCPPressHB, faults.LinkDown, opt, rec)
+
+	if rec.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	for _, name := range []string{
+		trace.EvRun, trace.EvSend, trace.EvRecv, trace.EvMembership,
+		trace.EvFaultInject, trace.EvFaultHeal,
+		trace.EvReqAdmit, trace.EvReqServe,
+	} {
+		if rec.Count(name) == 0 {
+			t.Errorf("no %q events in a traced link-down run", name)
+		}
+	}
+
+	inj, ok := rec.First(trace.EvFaultInject)
+	if !ok || inj.TS != opt.Stabilize {
+		t.Errorf("fault injected at %v, want %v", inj.TS, opt.Stabilize)
+	}
+	if inj.Node != TargetNode || inj.Note != faults.LinkDown.String() {
+		t.Errorf("inject event = %+v", inj)
+	}
+	heal, ok := rec.First(trace.EvFaultHeal)
+	if !ok || heal.TS != opt.Stabilize+opt.FaultDuration {
+		t.Errorf("fault healed at %v, want %v", heal.TS, opt.Stabilize+opt.FaultDuration)
+	}
+
+	// Emission order is virtual-time order.
+	events := rec.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].TS < events[i-1].TS {
+			t.Fatalf("event %d goes back in time: %v after %v", i, events[i].TS, events[i-1].TS)
+		}
+	}
+}

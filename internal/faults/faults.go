@@ -9,6 +9,7 @@ import (
 	"vivo/internal/metrics"
 	"vivo/internal/press"
 	"vivo/internal/sim"
+	"vivo/internal/trace"
 )
 
 // Type enumerates the injectable faults of Table 2.
@@ -123,19 +124,32 @@ func (in *Injector) mark(label string) {
 	}
 }
 
+// emit traces injector activity (name is EvFaultInject or EvFaultHeal;
+// the fault name travels in the note).
+func (in *Injector) emit(name string, t Type, target int) {
+	if trc := in.K.Tracer(); trc.Enabled() {
+		trc.Emit(trace.Event{
+			TS: in.K.Now(), Cat: trace.Fault, Name: name,
+			Node: target, Peer: trace.NoNode, Note: t.String(),
+		})
+	}
+}
+
 // Schedule arranges for fault t to hit node target at time `at` and (for
 // non-instantaneous faults) to be repaired at at+dur.
 func (in *Injector) Schedule(t Type, target int, at sim.Time, dur time.Duration) {
 	in.K.At(at, func() {
 		in.mark(fmt.Sprintf("%s @n%d", MarkInjected, target))
+		in.emit(trace.EvFaultInject, t, target)
 		in.inject(t, target, dur)
 	})
 }
 
-func (in *Injector) repairAt(d time.Duration, fn func()) {
+func (in *Injector) repairAt(t Type, target int, d time.Duration, fn func()) {
 	in.K.After(d, func() {
 		fn()
 		in.mark(MarkRepaired)
+		in.emit(trace.EvFaultHeal, t, target)
 	})
 }
 
@@ -145,21 +159,21 @@ func (in *Injector) inject(t Type, target int, dur time.Duration) {
 	switch t {
 	case LinkDown:
 		node.Link.Up = false
-		in.repairAt(dur, func() { node.Link.Up = true })
+		in.repairAt(t, target, dur, func() { node.Link.Up = true })
 	case SwitchDown:
 		in.D.HW.Sw.Up = false
-		in.repairAt(dur, func() { in.D.HW.Sw.Up = true })
+		in.repairAt(t, target, dur, func() { in.D.HW.Sw.Up = true })
 	case NodeCrash:
 		node.Crash()
 		// The node boots again after the fault duration (hard
 		// reboot); the daemon restarts PRESS afterwards.
-		in.repairAt(dur, node.Boot)
+		in.repairAt(t, target, dur, node.Boot)
 	case NodeHang:
 		node.Freeze()
-		in.repairAt(dur, node.Unfreeze)
+		in.repairAt(t, target, dur, node.Unfreeze)
 	case KernelMemory:
 		os.SetSKBufFault(true)
-		in.repairAt(dur, func() { os.SetSKBufFault(false) })
+		in.repairAt(t, target, dur, func() { os.SetSKBufFault(false) })
 	case MemoryPinning:
 		frac := in.PinFraction
 		if frac <= 0 {
@@ -167,31 +181,32 @@ func (in *Injector) inject(t Type, target int, dur time.Duration) {
 		}
 		lowered := int64(float64(os.Pinned()) * frac)
 		os.SetPinThreshold(lowered)
-		in.repairAt(dur, os.RestorePinThreshold)
+		in.repairAt(t, target, dur, os.RestorePinThreshold)
 	case AppCrash:
 		if p := in.D.Process(target); p != nil {
 			p.Kill()
 		}
 		in.mark(MarkRepaired) // repair = restart, which the daemon does
+		in.emit(trace.EvFaultHeal, t, target)
 	case AppHang:
 		p := in.D.Process(target)
 		if p == nil {
 			return
 		}
 		p.Stop()
-		in.repairAt(dur, func() {
+		in.repairAt(t, target, dur, func() {
 			if p.Alive() {
 				p.Cont()
 			}
 		})
 	case BadPtrNull:
-		in.interposeOnce(target, func(p *comm.SendParams) { p.NullPtr = true })
+		in.interposeOnce(t, target, func(p *comm.SendParams) { p.NullPtr = true })
 	case BadPtrOffset:
 		n := 1 + in.rng.Intn(100)
-		in.interposeOnce(target, func(p *comm.SendParams) { p.PtrOffset = n })
+		in.interposeOnce(t, target, func(p *comm.SendParams) { p.PtrOffset = n })
 	case BadSizeOffset:
 		n := 1 + in.rng.Intn(100)
-		in.interposeOnce(target, func(p *comm.SendParams) { p.SizeOffset = n })
+		in.interposeOnce(t, target, func(p *comm.SendParams) { p.SizeOffset = n })
 	default:
 		panic(fmt.Sprintf("faults: unknown fault %d", int(t)))
 	}
@@ -200,7 +215,7 @@ func (in *Injector) inject(t Type, target int, dur time.Duration) {
 // interposeOnce corrupts exactly the next intra-cluster send call on the
 // target node, mirroring the paper's interposition layer between PRESS and
 // the communication library.
-func (in *Injector) interposeOnce(target int, mutate func(*comm.SendParams)) {
+func (in *Injector) interposeOnce(t Type, target int, mutate func(*comm.SendParams)) {
 	s := in.D.Server(target)
 	if s == nil || !s.Alive() {
 		return
@@ -209,5 +224,6 @@ func (in *Injector) interposeOnce(target int, mutate func(*comm.SendParams)) {
 		mutate(p)
 		s.SetInterposer(nil)
 		in.mark(MarkRepaired) // the corrupted call has been issued
+		in.emit(trace.EvFaultHeal, t, target)
 	})
 }

@@ -1,17 +1,3 @@
-// Package metrics collects per-request outcomes during a simulation run and
-// turns them into the throughput timelines and availability figures used by
-// the performability methodology.
-//
-// The paper equates performance with throughput (requests successfully
-// served per second) and availability with the percentage of requests served
-// successfully; Recorder implements exactly those two measures, plus the
-// timestamped marks (fault injected, fault detected, component repaired,
-// server reset) that phase 2 uses to segment a timeline into stages.
-//
-// A Recorder holds state for exactly one sim.Kernel and shares nothing
-// package-wide, so concurrent experiment runs (the parallel campaign
-// engine of internal/experiments) each own a private recorder; no
-// cross-run synchronization is needed or provided.
 package metrics
 
 import (

@@ -5,6 +5,7 @@ import (
 
 	"vivo/internal/sim"
 	"vivo/internal/substrate"
+	"vivo/internal/trace"
 )
 
 // detector is the failure-detection layer of the server. Every version
@@ -92,6 +93,7 @@ func (h *ringHeartbeat) start() {
 		if s.k().Now()-last > s.cfg.HBTimeout {
 			// Three missed heartbeats: declare the predecessor
 			// failed and tell the others.
+			s.emit(trace.Press, trace.EvHeartbeatMiss, pred, int64(s.k().Now()-last), "")
 			s.mark(fmt.Sprintf("heartbeat timeout for n%d", pred))
 			s.reconfigure(pred, true)
 		}

@@ -21,19 +21,29 @@
 // # Layers
 //
 // The server core (server.go) is communication-agnostic: it talks to the
-// network only through the [vivo/internal/substrate] SPI, and the
-// version-dependent behaviour lives in three pluggable layers the core
-// composes at construction time from its [VersionSpec]:
+// network only through the [vivo/internal/substrate] SPI. All
+// version-dependent behaviour is composed at construction time from the
+// policy fields of the version's [VersionSpec] — there are no per-version
+// server subclasses or version checks in the core, only three pluggable
+// policy layers plus a shared request path:
 //
-//   - sendpath.go — the send engine: kernel-buffered blocking sends with a
-//     writability-driven drain queue (TCP), or user-level credit-gated
-//     sends with per-peer overflow queues (VIA).
-//   - detect.go — the failure-detection policy: connection breaks only, or
-//     breaks plus the directed-ring heartbeat protocol.
-//   - membership.go — reconfiguration plus the join policy: the explicit
-//     join-request handshake (TCP) or implicit rejoin on connect (VIA).
+//   - sendpath.go — the send engine (VersionSpec.FlowControl):
+//     kernel-buffered blocking sends with a writability-driven drain
+//     queue (TCP), or user-level credit-gated sends with per-peer
+//     overflow queues (VIA).
+//   - detect.go — the failure-detection policy (VersionSpec.Heartbeats):
+//     connection breaks only, or breaks plus the directed-ring heartbeat
+//     protocol.
+//   - membership.go — reconfiguration plus the join policy
+//     (VersionSpec.Join): the explicit join-request handshake (TCP) or
+//     implicit rejoin on connect (VIA).
 //   - router.go — the request path (routing, forwarding, cache, disk),
 //     identical across versions up to the cost model.
+//
+// Each layer emits [vivo/internal/trace] events at its decision points
+// (loop blocks, credit deferrals, heartbeat misses, membership changes,
+// the request lifecycle), so a traced run shows exactly which policy did
+// what and when.
 //
 // # Versions
 //

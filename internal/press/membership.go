@@ -7,6 +7,7 @@ import (
 
 	"vivo/internal/comm"
 	"vivo/internal/substrate"
+	"vivo/internal/trace"
 )
 
 // reconfigure removes node x from the cooperating cluster: the temporary
@@ -17,6 +18,7 @@ func (s *Server) reconfigure(x int, announce bool) {
 		return
 	}
 	delete(s.members, x)
+	s.emitMembership("removed", x)
 	s.mark(fmt.Sprintf("reconfigured: removed n%d, members now %v", x, s.Members()))
 	if pc := s.conns[x]; pc != nil {
 		delete(s.conns, x)
@@ -236,6 +238,7 @@ func (s *Server) finishJoin() {
 		s.joinTimer.Cancel()
 	}
 	s.det.resetGrace()
+	s.emitMembership("rejoined", trace.NoNode)
 	s.mark(fmt.Sprintf("rejoined, members %v", s.Members()))
 }
 
@@ -249,6 +252,7 @@ func (s *Server) giveUpJoin() {
 		delete(s.joinPending, j)
 	}
 	s.join.giveUp(s)
+	s.emitMembership("join timeout", trace.NoNode)
 }
 
 // sendDirect bypasses the engine's send path (used on join channels that
@@ -290,6 +294,7 @@ func (s *Server) handleJoinReq(w wire) {
 	s.conns[r] = pc
 	delete(s.joinPending, r)
 	s.det.resetGrace()
+	s.emitMembership("accepted join", r)
 	s.sendDirect(pc, msgJoinAccept, wire{Members: s.Members()}, smallMsgSize)
 	s.broadcast(msgNodeUp, wire{Node: r}, smallMsgSize, s.cost.SendSmall)
 	s.sendCacheSummary(r)
@@ -392,5 +397,6 @@ func (s *Server) remergeTick() {
 	}
 	s.members = map[int]bool{s.id: true}
 	s.joined = false
+	s.emitMembership("remerge", trace.NoNode)
 	s.startJoin()
 }

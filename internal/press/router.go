@@ -2,6 +2,7 @@ package press
 
 import (
 	"vivo/internal/metrics"
+	"vivo/internal/trace"
 	"vivo/internal/workload"
 )
 
@@ -18,13 +19,14 @@ import (
 func (s *Server) acceptRequest(r *workload.Request) {
 	s.node.CPU.Submit(s.cost.ClientHandle, func() {
 		if !s.alive {
-			r.Fail(metrics.Refused)
+			s.failReq(r, metrics.Refused, "process down")
 			return
 		}
 		if r.Settled() {
 			return // client gave up while we were queued
 		}
 		s.inflight++
+		s.emit(trace.Request, trace.EvReqAdmit, trace.NoNode, int64(r.File), "")
 		s.route(r)
 	})
 }
@@ -54,12 +56,12 @@ func (s *Server) route(r *workload.Request) {
 	// and start caching.
 	s.disk().Read(func() {
 		if !s.alive {
-			r.Fail(metrics.Refused)
+			s.failReq(r, metrics.Refused, "process down")
 			return
 		}
 		s.node.CPU.Submit(s.cost.CacheInsert, func() {
 			if !s.alive {
-				r.Fail(metrics.Refused)
+				s.failReq(r, metrics.Refused, "process down")
 				return
 			}
 			s.insertFile(r.File)
@@ -92,10 +94,23 @@ func (s *Server) pickService(f int) (int, bool) {
 }
 
 func (s *Server) finish(r *workload.Request) {
+	if !r.Settled() {
+		s.emit(trace.Request, trace.EvReqServe, trace.NoNode, int64(r.File), "")
+	}
 	r.Complete()
 	if s.inflight > 0 {
 		s.inflight--
 	}
+}
+
+// failReq settles r as dropped and traces the drop (note must be a
+// static string naming the reason). Settled requests pass through
+// untraced — the client already recorded its own outcome.
+func (s *Server) failReq(r *workload.Request, o metrics.Outcome, note string) {
+	if !r.Settled() {
+		s.emit(trace.Request, trace.EvReqDrop, trace.NoNode, int64(r.File), note)
+	}
+	r.Fail(o)
 }
 
 func (s *Server) insertFile(f int) {

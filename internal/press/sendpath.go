@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"vivo/internal/comm"
+	"vivo/internal/trace"
 )
 
 // sendEngine is the send-path/flow-control layer of the server: it owns
@@ -79,6 +80,7 @@ func (e *blockingSends) trySend(m outMsg) bool {
 		if !e.blocked {
 			e.blocked = true
 			s.node.CPU.Block()
+			s.emit(trace.Press, trace.EvLoopBlock, m.dst, int64(len(e.outQ)), "")
 		}
 		return false
 	case errors.Is(err, comm.ErrBadDescriptor):
@@ -118,6 +120,7 @@ func (e *blockingSends) drainOut() {
 	if e.blocked {
 		e.blocked = false
 		e.s.node.CPU.Unblock()
+		e.s.emit(trace.Press, trace.EvLoopUnblock, trace.NoNode, 0, "")
 	}
 }
 
@@ -173,6 +176,7 @@ func (e *creditSends) pushPeer(m outMsg) {
 		return // overflow: shed the message, the request times out
 	}
 	e.peerQ[m.dst] = append(e.peerQ[m.dst], m)
+	e.s.emit(trace.Press, trace.EvPeerDefer, m.dst, int64(len(e.peerQ[m.dst])), "")
 }
 
 // trySend attempts one send on a credit-managed channel; pushback only

@@ -13,6 +13,7 @@ import (
 	"vivo/internal/osmodel"
 	"vivo/internal/sim"
 	"vivo/internal/substrate"
+	"vivo/internal/trace"
 	"vivo/internal/workload"
 )
 
@@ -186,6 +187,33 @@ func newServer(d *Deployment, id int, proc *osmodel.Process, bootstrap bool) *Se
 
 func (s *Server) k() *sim.Kernel { return s.d.K }
 
+func (s *Server) trc() *trace.Tracer { return s.d.K.Tracer() }
+
+// emit records a trace event on this node at the current virtual time
+// (cat is trace.Press for protocol events, trace.Request for the client
+// request lifecycle). Call sites that build a note with fmt.Sprintf must
+// guard with s.trc().Enabled() so the disabled path does no formatting
+// work.
+func (s *Server) emit(cat trace.Category, name string, peer int, arg int64, note string) {
+	s.trc().Emit(trace.Event{
+		TS: s.k().Now(), Cat: cat, Name: name,
+		Node: s.id, Peer: peer, Arg: arg, Note: note,
+	})
+}
+
+// emitMembership traces a membership-view change. trigger must be a
+// static string (the subject node goes in peer); the formatted view is
+// only built when tracing is enabled.
+func (s *Server) emitMembership(trigger string, peer int) {
+	if trc := s.trc(); trc.Enabled() {
+		trc.Emit(trace.Event{
+			TS: s.k().Now(), Cat: trace.Press, Name: trace.EvMembership,
+			Node: s.id, Peer: peer, Arg: int64(len(s.members)),
+			Note: fmt.Sprintf("%s; view %v", trigger, s.Members()),
+		})
+	}
+}
+
 func (s *Server) mark(label string) {
 	if s.d.Events != nil {
 		s.d.Events(fmt.Sprintf("n%d: %s", s.id, label))
@@ -255,7 +283,7 @@ func (s *Server) teardown() {
 	for _, id := range sortedKeys(s.pending) {
 		p := s.pending[id]
 		delete(s.pending, id)
-		p.req.Fail(metrics.Refused)
+		s.failReq(p.req, metrics.Refused, "process down")
 	}
 	s.engine.reset()
 	s.cache.DropAll()
@@ -350,6 +378,7 @@ func (s *Server) admit(r int, pc substrate.PeerConn) {
 	delete(s.joinPending, r)
 	s.det.resetGrace()
 	s.sendCacheSummary(r)
+	s.emitMembership("admitted", r)
 	s.mark(fmt.Sprintf("admitted n%d", r))
 }
 

@@ -1,11 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation kernel.
-//
-// All other packages in this repository — the cluster hardware model, the
-// TCP and VIA protocol simulators, the PRESS server, the workload generator
-// and the fault injector — are built as event handlers scheduled on a single
-// Kernel. The kernel owns virtual time: an experiment that spans ten minutes
-// of simulated time typically executes in well under a second of wall time,
-// and two runs with the same seed produce bit-identical results.
 package sim
 
 import (
@@ -13,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"vivo/internal/trace"
 )
 
 // Time is an instant in virtual time, expressed as the offset from the start
@@ -55,6 +49,7 @@ type Kernel struct {
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
+	trc     *trace.Tracer
 
 	// Processed counts events executed since the kernel was created.
 	// It is exported read-only via Steps.
@@ -77,6 +72,17 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // Steps returns the number of events executed so far.
 func (k *Kernel) Steps() uint64 { return k.processed }
+
+// SetTracer installs the trace destination for this kernel. The kernel is
+// where every model component already meets, so it carries the tracer for
+// the whole stack; nil (the default) disables tracing. Emission never
+// draws randomness and never schedules events, so the tracer cannot
+// affect simulation behaviour.
+func (k *Kernel) SetTracer(t *trace.Tracer) { k.trc = t }
+
+// Tracer returns the installed tracer; a nil result is a valid, disabled
+// tracer (trace.Tracer methods are nil-safe).
+func (k *Kernel) Tracer() *trace.Tracer { return k.trc }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it is always a model bug.
@@ -124,6 +130,10 @@ func (k *Kernel) Step() bool {
 // advances without an event; callers who need the clock at until should
 // schedule a no-op there).
 func (k *Kernel) Run(until Time) {
+	k.trc.Emit(trace.Event{
+		TS: k.now, Cat: trace.Sim, Name: trace.EvRun,
+		Node: trace.NoNode, Peer: trace.NoNode, Arg: int64(until),
+	})
 	k.stopped = false
 	for !k.stopped {
 		next, ok := k.peek()

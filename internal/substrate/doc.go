@@ -1,0 +1,37 @@
+// Package substrate defines the service-provider interface between a
+// cluster service and its intra-cluster communication layer, plus a named
+// registry of implementations.
+//
+// The paper's central experiment holds the server constant and swaps the
+// communication architecture underneath it (kernel TCP vs user-level VIA,
+// Table 1); this package is that seam made explicit. A substrate supplies
+// one [Transport] per node — a factory for [PeerConn] channels to other
+// nodes — and reports events through [Callbacks]. Everything the service
+// observes about the substrate flows through these three types: send
+// errors (flow-control pushback, synchronous faults), delivery (including
+// corruption), channel breaks, and fatal errors. The *error semantics*
+// carried by those calls are exactly what distinguishes the substrates:
+// TCP hides faults behind timeout-and-retry and surfaces minute-scale
+// breaks, VIA fail-stops a channel in about a second.
+//
+// # Registry
+//
+// Implementations live in subpackages (substrate/tcp, substrate/via) and
+// register themselves by name in an init function; services select one
+// with a [Spec] and instantiate it per node via [New]. The registry is
+// what lets a new communication layer plug in without the service core
+// changing — registering a factory is the whole integration surface.
+// [Names] lists what is registered; the import boundary is enforced by
+// arch tests (the service core imports only this package, never a
+// protocol simulator directly).
+//
+// # Tracing
+//
+// Adapters thread the stack's event tracing through two helpers:
+// [TraceSend] records the outcome of every Send call (distinguishing
+// TCP's opaque kernel-buffer pushback from VIA's visible credit
+// exhaustion by event name), and [TraceBind] wraps a service's Callbacks
+// so deliveries, breaks and fatal errors are traced before the service
+// reacts. Both are free when the kernel carries no tracer, and any new
+// substrate gets uniform observability by calling them from its adapter.
+package substrate

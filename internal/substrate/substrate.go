@@ -1,24 +1,3 @@
-// Package substrate defines the service-provider interface between a
-// cluster service and its intra-cluster communication layer, plus a named
-// registry of implementations.
-//
-// The paper's central experiment holds the server constant and swaps the
-// communication architecture underneath it (kernel TCP vs user-level VIA,
-// Table 1); this package is that seam made explicit. A substrate supplies
-// one [Transport] per node — a factory for [PeerConn] channels to other
-// nodes — and reports events through [Callbacks]. Everything the service
-// observes about the substrate flows through these three types: send
-// errors (flow-control pushback, synchronous faults), delivery (including
-// corruption), channel breaks, and fatal errors. The *error semantics*
-// carried by those calls are exactly what distinguishes the substrates:
-// TCP hides faults behind timeout-and-retry and surfaces minute-scale
-// breaks, VIA fail-stops a channel in about a second.
-//
-// Implementations live in subpackages (substrate/tcp, substrate/via) and
-// register themselves by name in an init function; services select one
-// with a [Spec] and instantiate it per node via [New]. The registry is
-// what lets a new communication layer plug in without the service core
-// changing — registering a factory is the whole integration surface.
 package substrate
 
 import (

@@ -12,8 +12,10 @@ import (
 	"fmt"
 
 	"vivo/internal/comm"
+	"vivo/internal/sim"
 	"vivo/internal/substrate"
 	"vivo/internal/tcpsim"
+	"vivo/internal/trace"
 )
 
 // Name is the registry name of this substrate.
@@ -46,14 +48,26 @@ func init() {
 		default:
 			return nil, fmt.Errorf("substrate/tcp: options must be tcp.Options, got %T", opts)
 		}
-		return transport{st: tcpsim.NewStack(env.K, env.HW, env.Node, env.OS, o.Config)}, nil
+		return transport{
+			st:   tcpsim.NewStack(env.K, env.HW, env.Node, env.OS, o.Config),
+			k:    env.K,
+			node: env.Node.ID,
+		}, nil
 	})
 }
 
-type transport struct{ st *tcpsim.Stack }
+type transport struct {
+	st   *tcpsim.Stack
+	k    *sim.Kernel
+	node int
+}
+
+func (t transport) wrap(c *tcpsim.Conn) *conn {
+	return &conn{c: c, k: t.k, node: t.node}
+}
 
 func (t transport) Listen(accept func(substrate.PeerConn)) {
-	t.st.Listen(func(c *tcpsim.Conn) { accept(&conn{c: c}) })
+	t.st.Listen(func(c *tcpsim.Conn) { accept(t.wrap(c)) })
 }
 
 func (t transport) Unlisten() { t.st.Listen(nil) }
@@ -64,18 +78,29 @@ func (t transport) Dial(dst int, cb func(substrate.PeerConn, error)) {
 			cb(nil, err)
 			return
 		}
-		cb(&conn{c: c}, nil)
+		cb(t.wrap(c), nil)
 	})
 }
 
-type conn struct{ c *tcpsim.Conn }
+type conn struct {
+	c    *tcpsim.Conn
+	k    *sim.Kernel
+	node int
+}
 
-func (tc *conn) Remote() int                  { return tc.c.Remote() }
-func (tc *conn) Established() bool            { return tc.c.Established() }
-func (tc *conn) Send(p comm.SendParams) error { return tc.c.Send(p) }
-func (tc *conn) Close()                       { tc.c.Abort() }
+func (tc *conn) Remote() int       { return tc.c.Remote() }
+func (tc *conn) Established() bool { return tc.c.Established() }
+func (tc *conn) Close()            { tc.c.Abort() }
+
+func (tc *conn) Send(p comm.SendParams) error {
+	err := tc.c.Send(p)
+	// TCP's flow-control pushback is the kernel socket buffer filling up.
+	substrate.TraceSend(tc.k, tc.node, tc.c.Remote(), p, err, trace.EvSendBlock)
+	return err
+}
 
 func (tc *conn) Bind(cb substrate.Callbacks) {
+	cb = substrate.TraceBind(tc.k, tc.node, cb)
 	tc.c.Handler = tcpsim.Handler{
 		OnMessage: func(_ *tcpsim.Conn, d *tcpsim.Delivered) {
 			cb.OnMessage(tc, substrate.Delivered{Msg: d.Msg, Corrupt: d.Corrupt, Release: d.Release})

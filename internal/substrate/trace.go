@@ -1,0 +1,84 @@
+package substrate
+
+import (
+	"vivo/internal/comm"
+	"vivo/internal/sim"
+	"vivo/internal/trace"
+)
+
+// TraceSend emits the substrate-layer event for one completed Send call:
+// the send itself (with the error in the note, if any), or stallName —
+// trace.EvSendBlock for TCP's kernel-buffer pushback, trace.EvCreditStall
+// for VIA's credit exhaustion — when the substrate returned
+// comm.ErrWouldBlock. Adapters call it from PeerConn.Send so every
+// implementation reports flow control the same way; with tracing disabled
+// it costs one pointer test.
+func TraceSend(k *sim.Kernel, node, peer int, p comm.SendParams, err error, stallName string) {
+	trc := k.Tracer()
+	if !trc.Enabled() {
+		return
+	}
+	name := trace.EvSend
+	note := ""
+	switch {
+	case err == comm.ErrWouldBlock:
+		name = stallName
+	case err != nil:
+		note = err.Error()
+	}
+	trc.Emit(trace.Event{
+		TS: k.Now(), Cat: trace.Substrate, Name: name,
+		Node: node, Peer: peer, Arg: int64(p.Msg.Size), Note: note,
+	})
+}
+
+// TraceBind wraps cb so that deliveries, channel breaks and fatal errors
+// on node's channels are traced before the service sees them. With
+// tracing disabled it returns cb unchanged, so the bound callbacks carry
+// no extra indirection.
+func TraceBind(k *sim.Kernel, node int, cb Callbacks) Callbacks {
+	trc := k.Tracer()
+	if !trc.Enabled() {
+		return cb
+	}
+	out := cb
+	if cb.OnMessage != nil {
+		out.OnMessage = func(pc PeerConn, d Delivered) {
+			note := ""
+			if d.Corrupt {
+				note = "corrupt"
+			}
+			trc.Emit(trace.Event{
+				TS: k.Now(), Cat: trace.Substrate, Name: trace.EvRecv,
+				Node: node, Peer: pc.Remote(), Arg: int64(d.Msg.Size), Note: note,
+			})
+			cb.OnMessage(pc, d)
+		}
+	}
+	if cb.OnBreak != nil {
+		out.OnBreak = func(pc PeerConn, err error) {
+			trc.Emit(trace.Event{
+				TS: k.Now(), Cat: trace.Substrate, Name: trace.EvBreak,
+				Node: node, Peer: pc.Remote(), Note: errNote(err),
+			})
+			cb.OnBreak(pc, err)
+		}
+	}
+	if cb.OnFatal != nil {
+		out.OnFatal = func(pc PeerConn, err error) {
+			trc.Emit(trace.Event{
+				TS: k.Now(), Cat: trace.Substrate, Name: trace.EvFatal,
+				Node: node, Peer: pc.Remote(), Note: errNote(err),
+			})
+			cb.OnFatal(pc, err)
+		}
+	}
+	return out
+}
+
+func errNote(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

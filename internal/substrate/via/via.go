@@ -14,7 +14,9 @@ import (
 	"fmt"
 
 	"vivo/internal/comm"
+	"vivo/internal/sim"
 	"vivo/internal/substrate"
+	"vivo/internal/trace"
 	"vivo/internal/viasim"
 )
 
@@ -52,6 +54,8 @@ func init() {
 		return transport{
 			nic:          viasim.NewNIC(env.K, env.HW, env.Node, env.OS, o.Config),
 			remoteWrites: o.RemoteWrites,
+			k:            env.K,
+			node:         env.Node.ID,
 		}, nil
 	})
 }
@@ -59,10 +63,16 @@ func init() {
 type transport struct {
 	nic          *viasim.NIC
 	remoteWrites bool
+	k            *sim.Kernel
+	node         int
+}
+
+func (t transport) wrap(v *viasim.VI) *conn {
+	return &conn{v: v, rw: t.remoteWrites, k: t.k, node: t.node}
 }
 
 func (t transport) Listen(accept func(substrate.PeerConn)) {
-	t.nic.Listen(func(v *viasim.VI) { accept(&conn{v: v, rw: t.remoteWrites}) })
+	t.nic.Listen(func(v *viasim.VI) { accept(t.wrap(v)) })
 }
 
 func (t transport) Unlisten() { t.nic.Listen(nil) }
@@ -73,21 +83,30 @@ func (t transport) Dial(dst int, cb func(substrate.PeerConn, error)) {
 			cb(nil, err)
 			return
 		}
-		cb(&conn{v: v, rw: t.remoteWrites}, nil)
+		cb(t.wrap(v), nil)
 	})
 }
 
 type conn struct {
-	v  *viasim.VI
-	rw bool
+	v    *viasim.VI
+	rw   bool
+	k    *sim.Kernel
+	node int
 }
 
-func (vc *conn) Remote() int                  { return vc.v.Remote() }
-func (vc *conn) Established() bool            { return vc.v.Established() }
-func (vc *conn) Send(p comm.SendParams) error { return vc.v.Send(p, vc.rw) }
-func (vc *conn) Close()                       { vc.v.Disconnect() }
+func (vc *conn) Remote() int       { return vc.v.Remote() }
+func (vc *conn) Established() bool { return vc.v.Established() }
+func (vc *conn) Close()            { vc.v.Disconnect() }
+
+func (vc *conn) Send(p comm.SendParams) error {
+	err := vc.v.Send(p, vc.rw)
+	// VIA's flow-control pushback is visible credit exhaustion.
+	substrate.TraceSend(vc.k, vc.node, vc.v.Remote(), p, err, trace.EvCreditStall)
+	return err
+}
 
 func (vc *conn) Bind(cb substrate.Callbacks) {
+	cb = substrate.TraceBind(vc.k, vc.node, cb)
 	vc.v.Handler = viasim.Handler{
 		OnMessage: func(_ *viasim.VI, d *viasim.Delivered) {
 			cb.OnMessage(vc, substrate.Delivered{Msg: d.Msg, Corrupt: d.Corrupt, Release: d.Release})

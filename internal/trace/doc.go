@@ -1,0 +1,53 @@
+// Package trace is the simulation stack's deterministic event-tracing
+// layer: every interesting instant of a run — kernel run windows,
+// substrate sends and deliveries, flow-control pushback, heartbeat
+// misses, membership changes, fault injections and repairs, the client
+// request lifecycle — can be emitted as a typed [Event] through a
+// [Tracer] and collected by a [Sink]. The paper's evidence is timelines
+// (Figures 2-5 are second-by-second views of collapse and recovery
+// around a fault); this package is what lets any run explain itself at
+// that resolution instead of only through end-of-run aggregates.
+//
+// # Disabled by default, free when disabled
+//
+// The stack threads a *Tracer through [vivo/internal/sim.Kernel]; a nil
+// tracer is the disabled state, and every emission site is either a bare
+// [Tracer.Emit] (one nil test) or guarded by [Tracer.Enabled] when it
+// would otherwise build a note string. Emission never draws from the
+// kernel's random stream and never schedules events, so enabling or
+// disabling tracing cannot change simulation behaviour — TestGoldenSeed1
+// still pins byte-identical results with tracing off, and
+// BenchmarkTracing shows the disabled path costs nothing measurable.
+//
+// # Determinism
+//
+// The simulation is a single-threaded discrete-event loop per kernel, so
+// events reach the sink in a total order fixed by the seed: the same
+// seed produces a byte-identical trace, under parallel campaigns too
+// (each run has a private kernel and a private sink). That makes traces
+// diffable artifacts — TestTraceDeterministic pins this, a second golden
+// baseline alongside TestGoldenSeed1.
+//
+// # Sinks
+//
+// Two sinks are provided: [JSON] writes the Chrome trace_event format
+// for visual timelines in Perfetto (ui.perfetto.dev) or chrome://tracing,
+// with one process per node and one track per [Category]; [Recorder]
+// keeps typed events in memory for queries from tests and metrics
+// post-processing. Any other Sink plugs in the same way.
+//
+// # Tracing a run
+//
+// Wire a sink to the kernel before deploying, run, then close:
+//
+//	f, _ := os.Create("run.trace.json")
+//	w := trace.NewJSON(f)
+//	k := sim.New(1)
+//	k.SetTracer(trace.New(w))
+//	// ... deploy, schedule faults, k.Run(...) ...
+//	w.Close()
+//	f.Close()
+//
+// cmd/presssim and cmd/faultinject expose this as -trace <file>, and
+// experiments.Options.TraceDir captures one file per fault experiment.
+package trace

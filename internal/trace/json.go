@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON writes events in the Chrome trace_event format, loadable by
+// Perfetto (ui.perfetto.dev) and chrome://tracing. Every event becomes a
+// thread-scoped instant on the track (pid = node, tid = category), with
+// peer/arg/note carried in args; metadata records name each process
+// "node N" (or "cluster" for NoNode) and each thread after its category,
+// so the viewer shows one swimlane per node per layer.
+//
+// The output is deterministic: identical event streams produce
+// byte-identical files, which is what makes traces diffable artifacts
+// (TestTraceDeterministic pins this). Timestamps are microseconds with
+// three decimals, preserving the kernel's nanosecond resolution.
+//
+// JSON buffers internally; Close writes the trailer and flushes but does
+// not close the underlying writer.
+type JSON struct {
+	w     *bufio.Writer
+	err   error
+	n     int
+	named map[int64]bool // (pid<<8 | cat) with metadata already written
+}
+
+// NewJSON returns a writer emitting the trace_event header immediately.
+func NewJSON(w io.Writer) *JSON {
+	j := &JSON{w: bufio.NewWriterSize(w, 1<<16), named: make(map[int64]bool)}
+	j.writeString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	return j
+}
+
+// clusterPID is the synthetic process id for NoNode events. Node ids are
+// small (the directory bitmask caps clusters at 8), so 999 cannot collide.
+const clusterPID = 999
+
+func pidOf(node int) int {
+	if node == NoNode {
+		return clusterPID
+	}
+	return node
+}
+
+// Record implements Sink.
+func (j *JSON) Record(e Event) {
+	if j.err != nil {
+		return
+	}
+	pid := pidOf(e.Node)
+	j.nameTrack(pid, e.Cat)
+	j.sep()
+	// ts is microseconds; three decimals keep full nanosecond precision.
+	j.writeString(fmt.Sprintf(`{"name":%s,"cat":"%s","ph":"i","s":"t","ts":%.3f,"pid":%d,"tid":%d`,
+		quote(e.Name), e.Cat, float64(e.TS.Nanoseconds())/1e3, pid, int(e.Cat)))
+	j.writeString(`,"args":{`)
+	comma := false
+	if e.Peer != NoNode {
+		j.writeString(fmt.Sprintf(`"peer":%d`, e.Peer))
+		comma = true
+	}
+	if e.Arg != 0 {
+		if comma {
+			j.writeString(",")
+		}
+		j.writeString(fmt.Sprintf(`"arg":%d`, e.Arg))
+		comma = true
+	}
+	if e.Note != "" {
+		if comma {
+			j.writeString(",")
+		}
+		j.writeString(`"note":` + quote(e.Note))
+	}
+	j.writeString("}}")
+}
+
+// nameTrack emits process_name/thread_name metadata the first time a
+// (pid, category) track appears. First appearances follow the (single
+// threaded, deterministic) event stream, so the metadata placement is
+// deterministic too.
+func (j *JSON) nameTrack(pid int, cat Category) {
+	pkey := int64(pid)<<8 | int64(numCategories) // sentinel: process named
+	if !j.named[pkey] {
+		j.named[pkey] = true
+		name := fmt.Sprintf("node %d", pid)
+		if pid == clusterPID {
+			name = "cluster"
+		}
+		j.sep()
+		j.writeString(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, quote(name)))
+	}
+	tkey := int64(pid)<<8 | int64(cat)
+	if !j.named[tkey] {
+		j.named[tkey] = true
+		j.sep()
+		j.writeString(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}`,
+			pid, int(cat), cat))
+	}
+}
+
+func (j *JSON) sep() {
+	if j.n > 0 {
+		j.writeString(",\n")
+	}
+	j.n++
+}
+
+func (j *JSON) writeString(s string) {
+	if j.err == nil {
+		_, j.err = j.w.WriteString(s)
+	}
+}
+
+// Close terminates the JSON document and flushes the buffer. It returns
+// the first write error encountered, if any.
+func (j *JSON) Close() error {
+	j.writeString("]}\n")
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// quote JSON-encodes a string (handles quotes, control characters and
+// non-ASCII in error text deterministically).
+func quote(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return `"?"` // cannot happen for a string input
+	}
+	return string(b)
+}

@@ -1,0 +1,78 @@
+package trace
+
+import "time"
+
+// Recorder is an in-memory sink: it appends every event to a slice, in
+// emission order, for queries from tests and metrics post-processing.
+// Unlike the JSON writer it keeps the typed Event values, so callers can
+// filter and count without parsing anything back.
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record implements Sink.
+func (r *Recorder) Record(e Event) { r.events = append(r.events, e) }
+
+// Events returns the recorded events in emission order. The slice is the
+// recorder's own backing store — callers must not mutate it.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Reset discards all recorded events, keeping the capacity.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
+// Filter returns the events matching all non-wildcard criteria: name ""
+// matches every event name, node NoNode matches every node. Results share
+// no storage with the recorder.
+func (r *Recorder) Filter(name string, node int) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if name != "" && e.Name != name {
+			continue
+		}
+		if node != NoNode && e.Node != node {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Count returns how many events carry the given name.
+func (r *Recorder) Count(name string) int {
+	n := 0
+	for _, e := range r.events {
+		if e.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// First returns the earliest event with the given name and true, or a
+// zero Event and false if none was recorded. Emission order is time
+// order (the kernel is monotonic), so this is also the minimum-TS match.
+func (r *Recorder) First(name string) (Event, bool) {
+	for _, e := range r.events {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Between returns the events with from <= TS < to, preserving order.
+func (r *Recorder) Between(from, to time.Duration) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.TS >= from && e.TS < to {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+// Package workload generates the client load that drives the simulated
+// PRESS cluster: a synthetic web trace with Zipf-like document popularity
+// over a fixed-size file set (the paper normalises all files to the mean
+// size), and a set of clients issuing requests as a Poisson process with
+// round-robin-DNS node selection and the paper's timeouts (2 s to connect,
+// 6 s to complete a request).
+//
+// # Traffic model
+//
+// [Trace] samples document ids with Zipf popularity over a permuted id
+// space, so hot documents spread across the whole cluster (and hence
+// across caching nodes) — the locality cooperative caching exploits.
+// [LogTrace] replays a real Common Log Format access log instead
+// (cmd/presssim -log). Both satisfy [Sampler], the interface [Clients]
+// draws from.
+//
+// [Clients] turns samples into load: Poisson arrivals at a configured
+// aggregate rate, each request submitted to a node chosen round-robin and
+// settled as served, refused, or timed out; outcomes land in a
+// metrics.Recorder. [Request.Complete] and [Request.Fail] are the
+// backend's half of the contract.
+//
+// # Client traffic is out of band
+//
+// Client-server traffic is deliberately NOT routed through the simulated
+// intra-cluster fabric: the paper's injector distinguishes the two traffic
+// classes and never disturbs client communication, so requests reach a node
+// whenever its host is up. Intra-cluster observability (the trace layer's
+// send/recv events) therefore never shows client traffic; the request
+// lifecycle appears as the press layer's req-admit/req-serve/req-drop
+// events instead.
+package workload

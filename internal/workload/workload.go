@@ -1,14 +1,3 @@
-// Package workload generates the client load that drives the simulated
-// PRESS cluster: a synthetic web trace with Zipf-like document popularity
-// over a fixed-size file set (the paper normalises all files to the mean
-// size), and a set of clients issuing requests as a Poisson process with
-// round-robin-DNS node selection and the paper's timeouts (2 s to connect,
-// 6 s to complete a request).
-//
-// Client-server traffic is deliberately NOT routed through the simulated
-// intra-cluster fabric: the paper's injector distinguishes the two traffic
-// classes and never disturbs client communication, so requests reach a node
-// whenever its host is up.
 package workload
 
 import (
