@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify vet race race-full race-fast golden trace-smoke ci bench-campaign
+.PHONY: all build test verify vet race race-full race-fast golden trace-smoke chaos-smoke ci bench-campaign
 
 all: verify
 
@@ -26,12 +26,14 @@ vet:
 # The campaign engine runs experiments concurrently; keep it race-clean.
 # The race detector slows the simulations ~10x, so the CI leg runs -short
 # (tests trim their simulated horizons; see testOpt in experiments_test.go)
-# and race-full keeps the untrimmed run for occasional deep checks.
+# and race-full keeps the untrimmed run for occasional deep checks. The
+# chaos campaigns fan out over the same pool, so internal/chaos rides
+# along.
 race:
-	$(GO) test -race -short -timeout 45m ./internal/experiments/... ./internal/sim/...
+	$(GO) test -race -short -timeout 45m ./internal/experiments/... ./internal/sim/... ./internal/chaos/...
 
 race-full:
-	$(GO) test -race -timeout 45m ./internal/experiments/... ./internal/sim/...
+	$(GO) test -race -timeout 45m ./internal/experiments/... ./internal/sim/... ./internal/chaos/...
 
 # Just the parallel-engine tests under the race detector — the quick
 # iteration loop while touching pool.go / campaign.go.
@@ -62,7 +64,31 @@ trace-smoke:
 	$(GO) run ./cmd/tracecheck /tmp/vivo-trace-smoke/a.trace.json
 	rm -rf /tmp/vivo-trace-smoke
 
-ci: vet verify race golden trace-smoke
+# Chaos smoke test, both directions:
+#   1. a short seeded campaign under the real oracle suite comes back all
+#      green, and the repro/replay machinery is proven live by
+#   2. two runs with the intentionally-broken forbid-oracle fixture: both
+#      must detect the violation (exit 1), shrink to byte-identical repro
+#      artifacts, and -replay must reproduce the violation (exit 1).
+# The `!` prefixes invert the expected-failure exit codes for make.
+# The timing flags shrink each run to ~1 virtual minute (same light
+# geometry as the internal/chaos campaign tests) so the whole smoke stays
+# a few minutes on a one-core box.
+CHAOS_SMOKE_DIR = /tmp/vivo-chaos-smoke
+CHAOS_SMOKE_FLAGS = -load 0.35 -stabilize 10s -window 15s -min-dur 2s \
+	-max-dur 6s -settle 30s
+chaos-smoke:
+	rm -rf $(CHAOS_SMOKE_DIR) && mkdir -p $(CHAOS_SMOKE_DIR)/a $(CHAOS_SMOKE_DIR)/b
+	$(GO) run ./cmd/chaos -version TCP-PRESS-HB -seed 3 -runs 4 $(CHAOS_SMOKE_FLAGS)
+	! $(GO) run ./cmd/chaos -version TCP-PRESS -seed 1 -runs 1 $(CHAOS_SMOKE_FLAGS) \
+		-break-oracle kernel-memory -out $(CHAOS_SMOKE_DIR)/a
+	! $(GO) run ./cmd/chaos -version TCP-PRESS -seed 1 -runs 1 $(CHAOS_SMOKE_FLAGS) \
+		-break-oracle kernel-memory -out $(CHAOS_SMOKE_DIR)/b
+	cmp $(CHAOS_SMOKE_DIR)/a/repro_run00.json $(CHAOS_SMOKE_DIR)/b/repro_run00.json
+	! $(GO) run ./cmd/chaos -replay $(CHAOS_SMOKE_DIR)/a/repro_run00.json
+	rm -rf $(CHAOS_SMOKE_DIR)
+
+ci: vet verify race golden trace-smoke chaos-smoke
 
 # Serial vs parallel full-campaign wall clock (see EXPERIMENTS.md,
 # "Runtime"). Each iteration is a complete 60-run campaign.

@@ -1,0 +1,168 @@
+// Command chaos runs randomized multi-fault campaigns against a PRESS
+// version and judges every run with the invariant oracles (request
+// conservation, liveness, post-heal recovery, membership convergence,
+// trace well-formedness). A violated run is shrunk by delta debugging to
+// a minimal failing schedule and written as a JSON repro artifact under
+// -out; `chaos -replay <artifact>` re-runs it deterministically and
+// re-judges it.
+//
+// -break-oracle <fault> arms an intentionally broken fixture oracle that
+// flags any injection of the named fault as a violation. It exists so CI
+// can prove, on every run, that the violation → shrink → repro → replay
+// pipeline works end to end (a chaos engine whose failure path is never
+// exercised is itself untested).
+//
+// Usage:
+//
+//	chaos [-version TCP-PRESS] [-seed 1] [-runs 8] [-budget 4] [-parallel N]
+//	      [-full] [-load 0.5] [-stabilize 30s] [-window 60s] [-min-dur 5s]
+//	      [-max-dur 30s] [-settle 45s] [-out DIR] [-trace DIR] [-break-oracle FAULT]
+//	chaos -replay repro.json [-trace out.trace.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"vivo/internal/chaos"
+	"vivo/internal/cli"
+	"vivo/internal/trace"
+)
+
+func main() {
+	versionName := cli.VersionFlag("TCP-PRESS")
+	seed := cli.SeedFlag()
+	runs := flag.Int("runs", 8, "number of randomized fault schedules to run")
+	budget := flag.Int("budget", 0, "maximum faults per schedule (0 = default)")
+	parallel := cli.ParallelFlag()
+	full := flag.Bool("full", false, "paper-scale deployment (slower)")
+	load := flag.Float64("load", 0, "offered load as a fraction of Table-1 capacity (0 = default)")
+	stabilize := flag.Duration("stabilize", 0, "pre-injection steady period (0 = default)")
+	window := flag.Duration("window", 0, "injection window length (0 = default)")
+	minDur := flag.Duration("min-dur", 0, "shortest fault duration (0 = default)")
+	maxDur := flag.Duration("max-dur", 0, "longest fault duration (0 = default)")
+	settle := flag.Duration("settle", 0, "post-heal stabilization before oracles judge (0 = default)")
+	out := flag.String("out", "", "directory for repro artifacts of violated runs (default: current directory)")
+	traceDst := flag.String("trace", "", "trace destination: a directory for campaigns (one file per run), a file with -replay")
+	breakOracle := flag.String("break-oracle", "", "arm the broken fixture oracle that forbids this fault (proves the violation pipeline)")
+	replay := flag.String("replay", "", "replay a repro artifact instead of running a campaign")
+	flag.Parse()
+
+	if *replay != "" {
+		replayArtifact(*replay, *traceDst)
+		return
+	}
+
+	version := cli.MustVersion(*versionName)
+	p := chaos.DefaultParams()
+	p.FullScale = *full
+	if *load > 0 {
+		p.LoadFraction = *load
+	}
+	if *budget > 0 {
+		p.Budget = *budget
+	}
+	if *stabilize > 0 {
+		p.Stabilize = *stabilize
+	}
+	if *window > 0 {
+		p.Window = *window
+	}
+	if *minDur > 0 {
+		p.MinDur = *minDur
+	}
+	if *maxDur > 0 {
+		p.MaxDur = *maxDur
+		if p.MinDur > p.MaxDur {
+			p.MinDur = p.MaxDur
+		}
+	}
+	if *settle > 0 {
+		p.Settle = *settle
+	}
+
+	oracles := chaos.DefaultOracles()
+	if *breakOracle != "" {
+		oracles = append(oracles, chaos.ForbidFault{T: cli.MustFault(*breakOracle)})
+	}
+
+	rep, err := chaos.Run(chaos.Options{
+		Version:  version,
+		Seed:     *seed,
+		Runs:     *runs,
+		Parallel: *parallel,
+		TraceDir: *traceDst,
+		Params:   p,
+	}, oracles)
+	if err != nil {
+		log.Fatalf("chaos campaign: %v", err)
+	}
+	fmt.Print(rep.String())
+
+	dir := *out
+	if dir == "" {
+		dir = "."
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatalf("create repro directory: %v", err)
+	}
+	for _, rr := range rep.Runs {
+		if rr.Repro == nil {
+			continue
+		}
+		path := filepath.Join(dir, fmt.Sprintf("repro_run%02d.json", rr.Index))
+		if err := chaos.WriteRepro(path, *rr.Repro); err != nil {
+			log.Fatalf("write repro artifact: %v", err)
+		}
+		fmt.Printf("repro artifact: %s (replay with: chaos -replay %s)\n", path, path)
+	}
+	if rep.Violated() > 0 {
+		os.Exit(1)
+	}
+}
+
+// replayArtifact re-runs a repro deterministically and re-judges it.
+func replayArtifact(path, tracePath string) {
+	r, err := chaos.ReadRepro(path)
+	if err != nil {
+		log.Fatalf("read repro artifact: %v", err)
+	}
+
+	var sink trace.Sink
+	var finish func()
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			log.Fatalf("create trace file: %v", err)
+		}
+		w := trace.NewJSON(f)
+		sink = w
+		finish = func() {
+			if err := w.Close(); err != nil {
+				log.Fatalf("write trace file: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("close trace file: %v", err)
+			}
+		}
+	}
+
+	verdicts, reproduced, _, err := chaos.Replay(r, sink)
+	if err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+	if finish != nil {
+		finish()
+	}
+
+	fmt.Printf("replaying %s: %s seed=%d schedule: %s\n", path, r.Version, r.Seed, r.Schedule)
+	fmt.Print(chaos.RenderVerdicts(verdicts))
+	if reproduced {
+		fmt.Printf("reproduced: all recorded violations (%v) failed again\n", r.Violations)
+		os.Exit(1)
+	}
+	fmt.Printf("NOT reproduced: recorded violations %v did not all fail\n", r.Violations)
+	os.Exit(2)
+}

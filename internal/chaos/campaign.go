@@ -1,0 +1,269 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"vivo/internal/experiments"
+	"vivo/internal/press"
+	"vivo/internal/trace"
+)
+
+// Options configures one chaos campaign.
+type Options struct {
+	// Version is the PRESS version under test.
+	Version press.Version
+	// Seed makes the whole campaign deterministic: schedules, run
+	// seeds and the baseline all derive from it.
+	Seed int64
+	// Runs is the number of randomized schedules to generate and run.
+	Runs int
+	// Parallel bounds concurrent runs (0 = GOMAXPROCS, 1 = serial);
+	// like the experiment campaigns, results are bit-identical at any
+	// setting.
+	Parallel int
+	// TraceDir, when non-empty, receives a Perfetto-loadable event
+	// trace per run (chaos_run<i>.trace.json plus baseline.trace.json).
+	// Side effect only: traces never feed back into verdicts.
+	TraceDir string
+	// Params fixes scale and timing; zero value means DefaultParams.
+	Params Params
+}
+
+// RunReport is the outcome of one schedule.
+type RunReport struct {
+	Index    int
+	Seed     int64
+	Schedule Schedule
+	Verdicts []Verdict
+	// Violations names the failed oracles (empty means all green).
+	Violations []string
+	// Repro is the shrunk, replayable artifact for a violated run
+	// (nil when the run passed).
+	Repro *Repro
+}
+
+// Report is a full campaign result.
+type Report struct {
+	Version      press.Version
+	Seed         int64
+	Params       Params
+	BaselineSeed int64
+	// BaselineTail is the no-fault throughput reference for the
+	// recovery oracle.
+	BaselineTail float64
+	Runs         []RunReport
+}
+
+// Violated counts the runs with at least one failed oracle.
+func (r *Report) Violated() int {
+	n := 0
+	for _, rr := range r.Runs {
+		if len(rr.Violations) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// deriveSeed spreads one campaign seed over its runs: index 0 is the
+// baseline, 1..Runs the schedules. The multipliers are primes so
+// neighbouring campaign seeds do not share run seeds.
+func deriveSeed(seed int64, i int) int64 {
+	return seed*1_000_003 + int64(i)*7919
+}
+
+// scheduleSeed decouples the schedule draw from the kernel seed, so the
+// same kernel randomness under a different schedule (or vice versa)
+// never aliases.
+func scheduleSeed(runSeed int64) int64 { return runSeed ^ 0x5eedfa11 }
+
+// Run executes a campaign: a no-fault baseline, then Runs randomized
+// schedules fanned out over the worker pool, each judged by the oracle
+// suite. Runs that violate an invariant are shrunk to a minimal failing
+// schedule and packaged as a Repro. Same options, same report — at any
+// Parallel setting.
+func Run(opt Options, oracles []Oracle) (*Report, error) {
+	if opt.Runs <= 0 {
+		return nil, fmt.Errorf("chaos: campaign needs at least one run")
+	}
+	p := opt.Params
+	if p == (Params{}) {
+		p = DefaultParams()
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if len(oracles) == 0 {
+		oracles = DefaultOracles()
+	}
+	if opt.TraceDir != "" {
+		if err := os.MkdirAll(opt.TraceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("chaos: trace dir: %v", err)
+		}
+	}
+
+	v := opt.Version
+	nodes := quickConfig(v, p).Nodes
+	gen := p.gen(nodes)
+
+	baselineSeed := deriveSeed(opt.Seed, 0)
+	base, err := runTraced(v, p, baselineSeed, Schedule{}, opt.TraceDir, "baseline")
+	if err != nil {
+		return nil, err
+	}
+	baselineTail := base.tail()
+
+	rep := &Report{
+		Version:      v,
+		Seed:         opt.Seed,
+		Params:       p,
+		BaselineSeed: baselineSeed,
+		BaselineTail: baselineTail,
+		Runs:         make([]RunReport, opt.Runs),
+	}
+
+	workers := opt.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var firstErr error
+	experiments.ForEach(opt.Runs, workers, func(i int) {
+		runSeed := deriveSeed(opt.Seed, i+1)
+		sched := Generate(scheduleSeed(runSeed), gen)
+		obs, err := runTraced(v, p, runSeed, sched, opt.TraceDir, fmt.Sprintf("chaos_run%02d", i))
+		if err != nil {
+			// Generated schedules are valid by construction; an error
+			// here is a bug, not a finding.
+			panic(err)
+		}
+		obs.BaselineTail = baselineTail
+		verdicts := Judge(obs, oracles)
+		rr := RunReport{
+			Index:      i,
+			Seed:       runSeed,
+			Schedule:   sched,
+			Verdicts:   verdicts,
+			Violations: failures(verdicts),
+		}
+		if len(rr.Violations) > 0 {
+			rr.Repro = shrinkToRepro(v, p, runSeed, baselineSeed, baselineTail, sched, rr.Violations, oracles)
+		}
+		rep.Runs[i] = rr
+	})
+	return rep, firstErr
+}
+
+// runTraced is runOne plus the optional per-run trace file.
+func runTraced(v press.Version, p Params, seed int64, sched Schedule, dir, name string) (*Observation, error) {
+	if dir == "" {
+		return runOne(v, p, seed, sched, nil)
+	}
+	f, err := os.Create(filepath.Join(dir, name+".trace.json"))
+	if err != nil {
+		return nil, fmt.Errorf("chaos: create trace file: %v", err)
+	}
+	defer f.Close()
+	w := trace.NewJSON(f)
+	obs, err := runOne(v, p, seed, sched, w)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("chaos: write trace file: %v", err)
+	}
+	return obs, nil
+}
+
+// shrinkToRepro delta-debugs a failing schedule down to a minimal one
+// that still fails at least one of the originally violated oracles, and
+// packages it as a replayable artifact.
+func shrinkToRepro(v press.Version, p Params, runSeed, baselineSeed int64, baselineTail float64,
+	sched Schedule, violated []string, oracles []Oracle) *Repro {
+	want := map[string]bool{}
+	for _, name := range violated {
+		want[name] = true
+	}
+	stillFails := func(cand Schedule) bool {
+		obs, err := runOne(v, p, runSeed, cand, nil)
+		if err != nil {
+			return false
+		}
+		obs.BaselineTail = baselineTail
+		for _, name := range failures(Judge(obs, oracles)) {
+			if want[name] {
+				return true
+			}
+		}
+		return false
+	}
+	minimal, evals := Shrink(sched, stillFails)
+
+	// Re-judge the minimal schedule to record exactly which oracles the
+	// *shrunk* run violates (shrinking guarantees at least one of the
+	// originals still fails; others may have healed away).
+	obs, err := runOne(v, p, runSeed, minimal, nil)
+	var final []string
+	if err == nil {
+		obs.BaselineTail = baselineTail
+		for _, name := range failures(Judge(obs, oracles)) {
+			if want[name] {
+				final = append(final, name)
+			}
+		}
+	}
+	if len(final) == 0 {
+		final = violated
+	}
+	return &Repro{
+		Version:      v.String(),
+		Seed:         runSeed,
+		BaselineSeed: baselineSeed,
+		Params:       p,
+		Schedule:     minimal,
+		Violations:   final,
+		ShrunkFrom:   len(sched.Faults),
+		ShrinkEvals:  evals,
+	}
+}
+
+// String renders the campaign as a per-run table with verdict summaries.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos campaign: %s seed=%d runs=%d baseline=%.0f req/s\n",
+		r.Version, r.Seed, len(r.Runs), r.BaselineTail)
+	for _, rr := range r.Runs {
+		status := "ok"
+		if len(rr.Violations) > 0 {
+			status = "VIOLATED " + strings.Join(rr.Violations, ",")
+		}
+		fmt.Fprintf(&b, "  run %02d  %-8s  %s\n", rr.Index, status, rr.Schedule)
+		for _, vd := range rr.Verdicts {
+			if vd.Status == Fail {
+				fmt.Fprintf(&b, "          %s: %s\n", vd.Oracle, vd.Detail)
+			}
+		}
+		if rr.Repro != nil {
+			fmt.Fprintf(&b, "          shrunk %d -> %d fault(s) in %d re-runs: %s\n",
+				rr.Repro.ShrunkFrom, len(rr.Repro.Schedule.Faults), rr.Repro.ShrinkEvals, rr.Repro.Schedule)
+		}
+	}
+	fmt.Fprintf(&b, "  %d/%d runs violated an invariant\n", r.Violated(), len(r.Runs))
+	return b.String()
+}
+
+// RenderVerdicts formats a verdict list (used by cmd/chaos -replay).
+func RenderVerdicts(vs []Verdict) string {
+	var b strings.Builder
+	for _, v := range vs {
+		if v.Detail != "" {
+			fmt.Fprintf(&b, "  %-18s %-4s  %s\n", v.Oracle, v.Status, v.Detail)
+		} else {
+			fmt.Fprintf(&b, "  %-18s %-4s\n", v.Oracle, v.Status)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+// Package chaos is the randomized fault-campaign engine: property-based
+// chaos testing on top of the deterministic simulation stack.
+//
+// The paper's Mendosus methodology injects one fault at a time from a
+// fixed menu (Table 2). This package explores the fault *space* instead:
+// a seeded generator draws multi-fault schedules — random fault type ×
+// target node × injection time × duration, overlapping and repeated,
+// under a configurable fault budget — and runs each against a chosen
+// PRESS version. After every run a pluggable set of invariant oracles
+// judges the outcome:
+//
+//   - request conservation: every issued request records exactly one
+//     outcome (served, refused, connect-timeout or request-timeout);
+//     nothing is silently lost;
+//   - liveness: after load stops and the timeout windows drain, no
+//     request remains admitted-but-unresolved;
+//   - post-heal recovery: throughput returns to within ε of the no-fault
+//     baseline within a stabilization window after the last heal, for
+//     fault classes the version is expected to recover from (Recoverable);
+//   - membership convergence: after stabilization every alive, joined
+//     server agrees on the member set (same gate);
+//   - trace well-formedness: every EvFaultInject has exactly one matching
+//     EvFaultHeal.
+//
+// Because every run is deterministic — the kernel, the workload and the
+// schedule all derive from one seed — a violated invariant is not a flaky
+// observation but an exact coordinate in the fault space. The engine
+// exploits that: Shrink delta-debugs the failing schedule (drop faults,
+// halve durations, re-run deterministically) down to a minimal failing
+// schedule, and the result is emitted as a JSON repro artifact that
+// `cmd/chaos -replay repro.json` reproduces exactly, byte-identical
+// trace included.
+//
+// Campaigns fan out across experiments.ForEach workers; like the rest of
+// the simulation stack, results are bit-identical at any Parallel
+// setting.
+package chaos

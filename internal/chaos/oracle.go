@@ -1,0 +1,352 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"vivo/internal/faults"
+	"vivo/internal/metrics"
+	"vivo/internal/press"
+	"vivo/internal/trace"
+)
+
+// Status is an oracle's judgement of one run.
+type Status int
+
+const (
+	// Pass: the invariant held.
+	Pass Status = iota
+	// Fail: the invariant was violated — the schedule is a finding.
+	Fail
+	// Skip: the invariant does not apply to this (version, schedule)
+	// pair; the detail says why.
+	Skip
+)
+
+// String returns the status name used in reports.
+func (s Status) String() string {
+	switch s {
+	case Pass:
+		return "pass"
+	case Fail:
+		return "FAIL"
+	case Skip:
+		return "skip"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Verdict is one oracle's result for one run.
+type Verdict struct {
+	Oracle string
+	Status Status
+	Detail string
+}
+
+// Oracle checks one invariant over a completed run's observation.
+type Oracle interface {
+	// Name identifies the oracle in verdicts and repro artifacts.
+	Name() string
+	// Check judges the observation.
+	Check(o *Observation) Verdict
+}
+
+// DefaultOracles returns the standard invariant suite.
+func DefaultOracles() []Oracle {
+	return []Oracle{
+		conservation{}, liveness{}, wellFormed{}, recovery{}, membership{},
+	}
+}
+
+// OracleByName resolves a default-suite oracle name (used by cmd/chaos
+// -replay to re-judge with the suite recorded in the artifact).
+func OracleByName(name string) (Oracle, bool) {
+	for _, o := range DefaultOracles() {
+		if o.Name() == name {
+			return o, true
+		}
+	}
+	return nil, false
+}
+
+// Judge runs every oracle over the observation.
+func Judge(o *Observation, oracles []Oracle) []Verdict {
+	out := make([]Verdict, len(oracles))
+	for i, orc := range oracles {
+		out[i] = orc.Check(o)
+	}
+	return out
+}
+
+// failures extracts the names of the failed oracles, in suite order.
+func failures(vs []Verdict) []string {
+	var out []string
+	for _, v := range vs {
+		if v.Status == Fail {
+			out = append(out, v.Oracle)
+		}
+	}
+	return out
+}
+
+// Recoverable reports whether version v is expected to return to
+// baseline service (throughput and membership) within the settle window
+// after fault t heals. This encodes the paper's findings, not wishful
+// thinking: splintering after a connectivity fault is TCP-PRESS-HB's and
+// VIA-PRESS's *documented* behaviour (§5.2), so the recovery and
+// membership oracles skip those pairs rather than rediscover Figure 4 as
+// a "violation". State-losing faults (crashes, bad-parameter kills) are
+// excluded everywhere: the restarted process comes back with a cold
+// cache, and the refill transient is load-dependent rather than bounded
+// by the settle window.
+//
+// The table errs only on the conservative side: a full
+// (version × fault) single-fault calibration matrix at DefaultParams
+// found no pair predicted recoverable that failed to recover, while
+// several excluded pairs did recover at quick scale (crash refills
+// finish inside the settle window there, and the VIA versions converge
+// after app-hang because the hung process's channels break fail-stop
+// and it rejoins cleanly on resume). Skips are therefore missed
+// coverage, never masked violations; sharpening the gate per scale is
+// a noted follow-up.
+func Recoverable(v press.Version, t faults.Type) bool {
+	spec := v.Spec()
+	switch t {
+	case faults.AppCrash, faults.NodeCrash,
+		faults.BadPtrNull, faults.BadPtrOffset, faults.BadSizeOffset:
+		// Process (or node) death loses cache state.
+		return false
+	case faults.MemoryPinning:
+		// Only zero-copy versions pin the cache; everyone else is
+		// untouched and recovers trivially.
+		return !spec.ZeroCopy
+	case faults.KernelMemory:
+		// User-level substrates bypass the kernel buffers entirely.
+		return spec.UserLevel
+	case faults.AppHang, faults.NodeHang, faults.LinkDown, faults.SwitchDown:
+		// Connectivity/hang faults lose no state; the question is
+		// whether membership converges again after the heal. Blind
+		// TCP-PRESS never evicted anyone (loop-block: it just stalls
+		// and resumes), and remerge-enabled versions re-merge; the
+		// detect-but-never-remerge versions splinter per the paper.
+		return spec.Remerge || (!spec.UserLevel && !spec.Heartbeats)
+	}
+	return false
+}
+
+// RecoverableSchedule reports whether every fault in the schedule is in
+// v's recoverable class (an empty schedule trivially is).
+func RecoverableSchedule(v press.Version, s Schedule) bool {
+	for _, f := range s.Faults {
+		if !Recoverable(v, f.Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// conservation checks request conservation: every issued request records
+// exactly one outcome, and the per-outcome counts decompose the totals.
+type conservation struct{}
+
+func (conservation) Name() string { return "conservation" }
+
+func (conservation) Check(o *Observation) Verdict {
+	v := Verdict{Oracle: "conservation", Status: Pass}
+	total := o.Served + o.Failed
+	if o.Issued != total {
+		v.Status = Fail
+		v.Detail = fmt.Sprintf("issued %d requests but recorded %d outcomes (%d served + %d failed)",
+			o.Issued, total, o.Served, o.Failed)
+		return v
+	}
+	var sum int64
+	for _, c := range o.Outcomes {
+		sum += c
+	}
+	if sum != total {
+		v.Status = Fail
+		v.Detail = fmt.Sprintf("outcome classes sum to %d, totals say %d", sum, total)
+		return v
+	}
+	v.Detail = fmt.Sprintf("%d issued = %d served + %d refused + %d connect-timeout + %d request-timeout",
+		o.Issued, o.Outcomes[metrics.Served], o.Outcomes[metrics.Refused],
+		o.Outcomes[metrics.ConnectTimeout], o.Outcomes[metrics.RequestTimeout])
+	return v
+}
+
+// liveness checks that no request was admitted but never resolved: after
+// load stops and the timeout windows drain, the unsettled count is zero.
+type liveness struct{}
+
+func (liveness) Name() string { return "liveness" }
+
+func (liveness) Check(o *Observation) Verdict {
+	v := Verdict{Oracle: "liveness", Status: Pass}
+	if o.Unsettled != 0 {
+		v.Status = Fail
+		v.Detail = fmt.Sprintf("%d requests still unresolved %v after load stopped", o.Unsettled, drain)
+	}
+	return v
+}
+
+// wellFormed checks the trace invariant: every EvFaultInject is balanced
+// by exactly one EvFaultHeal for the same (node, fault) pair, and no heal
+// appears without a preceding inject.
+type wellFormed struct{}
+
+func (wellFormed) Name() string { return "trace-well-formed" }
+
+// faultName strips the parenthesized detail an injector heal note may
+// carry ("link-down (no-op: link already down)" → "link-down").
+func faultName(note string) string {
+	name, _, _ := strings.Cut(note, " (")
+	return name
+}
+
+func (wellFormed) Check(o *Observation) Verdict {
+	v := Verdict{Oracle: "trace-well-formed", Status: Pass}
+	type key struct {
+		node int
+		name string
+	}
+	open := map[key]int{}
+	for _, e := range o.Events.Events() {
+		switch e.Name {
+		case trace.EvFaultInject:
+			open[key{e.Node, faultName(e.Note)}]++
+		case trace.EvFaultHeal:
+			k := key{e.Node, faultName(e.Note)}
+			if open[k] == 0 {
+				v.Status = Fail
+				v.Detail = fmt.Sprintf("heal of %s on n%d at %v without a matching injection",
+					faultName(e.Note), e.Node, e.TS)
+				return v
+			}
+			open[k]--
+		}
+	}
+	for k, n := range open {
+		if n != 0 {
+			v.Status = Fail
+			v.Detail = fmt.Sprintf("%d injection(s) of %s on n%d never healed", n, k.name, k.node)
+			return v
+		}
+	}
+	return v
+}
+
+// recovery checks post-heal recovery: for recoverable schedules, the
+// throughput over the tail window must reach (1-ε) of the no-fault
+// baseline.
+type recovery struct{}
+
+func (recovery) Name() string { return "recovery" }
+
+func (recovery) Check(o *Observation) Verdict {
+	v := Verdict{Oracle: "recovery", Status: Pass}
+	if !RecoverableSchedule(o.Version, o.Schedule) {
+		v.Status = Skip
+		v.Detail = fmt.Sprintf("schedule contains faults %s does not recover from within the settle window", o.Version)
+		return v
+	}
+	if o.BaselineTail <= 0 {
+		v.Status = Skip
+		v.Detail = "no baseline throughput available"
+		return v
+	}
+	tail := o.tail()
+	need := (1 - o.P.Epsilon) * o.BaselineTail
+	if tail < need {
+		v.Status = Fail
+		v.Detail = fmt.Sprintf("post-heal throughput %.0f req/s below %.0f (%.0f%% of baseline %.0f)",
+			tail, need, 100*(1-o.P.Epsilon), o.BaselineTail)
+		return v
+	}
+	v.Detail = fmt.Sprintf("%.0f req/s vs baseline %.0f", tail, o.BaselineTail)
+	return v
+}
+
+// membership checks membership convergence: for recoverable schedules,
+// after the settle window every node is up, running a joined server, and
+// every server's membership view equals the set of live servers.
+type membership struct{}
+
+func (membership) Name() string { return "membership" }
+
+func (membership) Check(o *Observation) Verdict {
+	v := Verdict{Oracle: "membership", Status: Pass}
+	if !RecoverableSchedule(o.Version, o.Schedule) {
+		v.Status = Skip
+		v.Detail = fmt.Sprintf("schedule contains faults %s does not converge from (splintering is the paper's finding, not a bug)", o.Version)
+		return v
+	}
+	var alive []int
+	for _, nv := range o.Inventory {
+		if nv.ProcAlive {
+			alive = append(alive, nv.Node)
+		}
+	}
+	for _, nv := range o.Inventory {
+		switch {
+		case !nv.Up:
+			v.Status = Fail
+			v.Detail = fmt.Sprintf("n%d still down after the settle window", nv.Node)
+		case nv.Frozen:
+			v.Status = Fail
+			v.Detail = fmt.Sprintf("n%d still frozen after the settle window", nv.Node)
+		case !nv.ProcAlive:
+			v.Status = Fail
+			v.Detail = fmt.Sprintf("n%d has no live press process (daemon failed to restart it)", nv.Node)
+		case !nv.Joined:
+			v.Status = Fail
+			v.Detail = fmt.Sprintf("n%d's server never completed its (re)join", nv.Node)
+		case !equalInts(nv.Members, alive):
+			v.Status = Fail
+			v.Detail = fmt.Sprintf("n%d sees members %v, live set is %v", nv.Node, nv.Members, alive)
+		}
+		if v.Status == Fail {
+			return v
+		}
+	}
+	return v
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForbidFault is an intentionally broken oracle: it declares any run that
+// injects the forbidden fault type a violation. It exists as a known-bad
+// fixture — `make chaos-smoke` and the tests use it to prove the pipeline
+// detects violations, shrinks the schedule to a single forbidden fault,
+// and replays the repro deterministically. It is not part of
+// DefaultOracles.
+type ForbidFault struct{ T faults.Type }
+
+// Name implements Oracle.
+func (f ForbidFault) Name() string { return "forbid-" + f.T.String() }
+
+// Check implements Oracle: it fails iff the trace shows an injection of
+// the forbidden type (reading the trace, not the schedule, so shrinking
+// has to keep an actually-injected instance).
+func (f ForbidFault) Check(o *Observation) Verdict {
+	v := Verdict{Oracle: f.Name(), Status: Pass}
+	for _, e := range o.Events.Events() {
+		if e.Name == trace.EvFaultInject && faultName(e.Note) == f.T.String() {
+			v.Status = Fail
+			v.Detail = fmt.Sprintf("fixture violation: %s injected into n%d at %v", f.T, e.Node, e.TS)
+			return v
+		}
+	}
+	return v
+}

@@ -1,0 +1,126 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"vivo/internal/faults"
+	"vivo/internal/press"
+	"vivo/internal/trace"
+)
+
+// Repro is the JSON artifact emitted for a violated invariant: the
+// minimal failing schedule plus everything needed to re-run it exactly —
+// version, kernel seed, campaign parameters, and the baseline seed so
+// the recovery oracle's reference point is recomputed rather than
+// trusted. `cmd/chaos -replay repro.json` reproduces the violation
+// deterministically, byte-identical trace included.
+type Repro struct {
+	Version      string   `json:"version"`
+	Seed         int64    `json:"seed"`
+	BaselineSeed int64    `json:"baseline_seed"`
+	Params       Params   `json:"params"`
+	Schedule     Schedule `json:"schedule"`
+	// Violations names the oracles the original run failed; Replay
+	// reconstructs the same suite (including fixture oracles) from it.
+	Violations []string `json:"violations"`
+	// ShrunkFrom is the fault count of the original failing schedule;
+	// ShrinkEvals the number of re-runs the shrinker spent.
+	ShrunkFrom  int `json:"shrunk_from"`
+	ShrinkEvals int `json:"shrink_evals"`
+}
+
+// WriteRepro writes the artifact as indented JSON.
+func WriteRepro(path string, r Repro) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadRepro parses an artifact written by WriteRepro.
+func ReadRepro(path string) (Repro, error) {
+	var r Repro
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("chaos: parse %s: %v", path, err)
+	}
+	return r, nil
+}
+
+// reproOracles reconstructs the oracle suite for a replay: the default
+// suite, plus any fixture oracle named in the recorded violations (a
+// "forbid-<fault>" violation re-arms the corresponding ForbidFault so
+// the replay can actually re-fail).
+func reproOracles(r Repro) ([]Oracle, error) {
+	suite := DefaultOracles()
+	have := map[string]bool{}
+	for _, o := range suite {
+		have[o.Name()] = true
+	}
+	for _, name := range r.Violations {
+		if have[name] {
+			continue
+		}
+		rest, ok := strings.CutPrefix(name, "forbid-")
+		if !ok {
+			return nil, fmt.Errorf("chaos: unknown oracle %q in repro", name)
+		}
+		ft, ok := faults.TypeByName(rest)
+		if !ok {
+			return nil, fmt.Errorf("chaos: unknown fault %q in fixture oracle %q", rest, name)
+		}
+		suite = append(suite, ForbidFault{T: ft})
+		have[name] = true
+	}
+	return suite, nil
+}
+
+// Replay re-runs a repro artifact deterministically: recompute the
+// no-fault baseline from BaselineSeed, re-run the recorded schedule on
+// the recorded seed, and re-judge with the reconstructed oracle suite.
+// sink, when non-nil, receives the replayed run's event trace. The
+// returned reproduced flag is true when every recorded violation failed
+// again.
+func Replay(r Repro, sink trace.Sink) (verdicts []Verdict, reproduced bool, obs *Observation, err error) {
+	v, ok := press.VersionByName(r.Version)
+	if !ok {
+		return nil, false, nil, fmt.Errorf("chaos: unknown version %q in repro", r.Version)
+	}
+	if err := r.Params.validate(); err != nil {
+		return nil, false, nil, err
+	}
+	suite, err := reproOracles(r)
+	if err != nil {
+		return nil, false, nil, err
+	}
+
+	base, err := runOne(v, r.Params, r.BaselineSeed, Schedule{}, nil)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	obs, err = runOne(v, r.Params, r.Seed, r.Schedule, sink)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	obs.BaselineTail = base.tail()
+
+	verdicts = Judge(obs, suite)
+	failed := map[string]bool{}
+	for _, name := range failures(verdicts) {
+		failed[name] = true
+	}
+	reproduced = len(r.Violations) > 0
+	for _, name := range r.Violations {
+		if !failed[name] {
+			reproduced = false
+		}
+	}
+	return verdicts, reproduced, obs, nil
+}

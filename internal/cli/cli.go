@@ -53,10 +53,8 @@ func FaultNames() []string {
 
 // MustFault resolves a fault name or exits with the valid list.
 func MustFault(name string) faults.Type {
-	for _, ft := range faults.AllTypes {
-		if ft.String() == name {
-			return ft
-		}
+	if ft, ok := faults.TypeByName(name); ok {
+		return ft
 	}
 	log.Fatalf("unknown fault %q; available: %s (or \"all\")",
 		name, strings.Join(FaultNames(), ", "))

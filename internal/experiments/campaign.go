@@ -80,7 +80,7 @@ func runCampaign(opt Options) *Campaign {
 	perVersion := 1 + nf // slot 0: Tn; slots 1..nf: fault runs
 	tns := make([]float64, len(versions))
 	meas := make([]core.Measured, len(versions)*nf)
-	forEach(len(versions)*perVersion, opt.workers(), func(i int) {
+	ForEach(len(versions)*perVersion, opt.workers(), func(i int) {
 		vi, job := i/perVersion, i%perVersion
 		v := versions[vi]
 		if job == 0 {

@@ -51,7 +51,7 @@ func RunExtension(opt Options) ExtensionResult {
 	var robustTn float64
 	nf := len(faults.AllTypes)
 	meas := make([]core.Measured, nf)
-	forEach(1+nf, opt.workers(), func(i int) {
+	ForEach(1+nf, opt.workers(), func(i int) {
 		if i == 0 {
 			robustTn = measureTn(press.RobustPress, opt)
 			return

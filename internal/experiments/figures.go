@@ -26,7 +26,7 @@ type Table1Row struct {
 // worker per version (bounded by opt.Parallel).
 func Table1(opt Options) []Table1Row {
 	rows := make([]Table1Row, len(press.Versions))
-	forEach(len(press.Versions), opt.workers(), func(i int) {
+	ForEach(len(press.Versions), opt.workers(), func(i int) {
 		v := press.Versions[i]
 		k := sim.New(opt.Seed*10 + int64(v))
 		got := press.MeasureThroughput(k, opt.Config(v),
@@ -79,7 +79,7 @@ func Figure5(opt Options) []FaultRun {
 
 func timelines(opt Options, ft faults.Type, versions ...press.Version) []FaultRun {
 	out := make([]FaultRun, len(versions))
-	forEach(len(versions), opt.workers(), func(i int) {
+	ForEach(len(versions), opt.workers(), func(i int) {
 		out[i] = RunFault(versions[i], ft, opt)
 	})
 	return out

@@ -88,7 +88,7 @@ func MultiFaultStudy(v press.Version, opt Options) []MultiFaultResult {
 	// Job 0 is the baseline; jobs 3i+1..3i+3 are scenario i's A-only,
 	// B-only and overlapping runs.
 	runs := make([]counts, 1+3*len(scenarios))
-	forEach(len(runs), opt.workers(), func(j int) {
+	ForEach(len(runs), opt.workers(), func(j int) {
 		var inject func(in *faults.Injector)
 		if j > 0 {
 			sc := scenarios[(j-1)/3]

@@ -31,7 +31,7 @@ func TestForEachCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 4, 100} {
 		var mu sync.Mutex
 		var got []int
-		forEach(7, workers, func(i int) {
+		ForEach(7, workers, func(i int) {
 			mu.Lock()
 			got = append(got, i)
 			mu.Unlock()
@@ -51,7 +51,7 @@ func TestForEachPropagatesPanics(t *testing.T) {
 					t.Fatalf("workers=%d: panic swallowed", workers)
 				}
 			}()
-			forEach(5, workers, func(i int) {
+			ForEach(5, workers, func(i int) {
 				if i == 3 {
 					panic("boom")
 				}

@@ -9,16 +9,17 @@ import (
 // parallel: every experiment builds its own sim.Kernel from its own
 // derived seed and touches no shared state, so fanning runs out across
 // OS threads changes wall-clock time but not a single result bit.
-// forEach is the one fan-out primitive every driver in this package
-// uses; results are always written to index i of a pre-sized slice, so
-// assembly order — and therefore the assembled Campaign, study, or
-// figure — is identical at any worker count.
+// ForEach is the one fan-out primitive every driver in this package
+// uses (the chaos campaign engine in internal/chaos shares it); results
+// are always written to index i of a pre-sized slice, so assembly order —
+// and therefore the assembled Campaign, study, or figure — is identical
+// at any worker count.
 
-// forEach invokes fn(0..n-1), running at most workers calls at a time.
+// ForEach invokes fn(0..n-1), running at most workers calls at a time.
 // workers <= 1 degenerates to a plain serial loop (no goroutines), which
 // is also the fallback for callers that want reproducible step-through
 // debugging. A panic in fn is re-raised on the calling goroutine.
-func forEach(n, workers int, fn func(i int)) {
+func ForEach(n, workers int, fn func(i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -136,7 +136,7 @@ func RunFaultTrace(v press.Version, ft faults.Type, opt Options, sink trace.Sink
 // identical at any worker count.
 func RunFaultColumn(v press.Version, opt Options) []FaultRun {
 	out := make([]FaultRun, len(faults.AllTypes))
-	forEach(len(faults.AllTypes), opt.workers(), func(i int) {
+	ForEach(len(faults.AllTypes), opt.workers(), func(i int) {
 		out[i] = RunFault(v, faults.AllTypes[i], opt)
 	})
 	return out

@@ -90,7 +90,7 @@ type ScaleRow struct {
 func ClusterScaling(c *Campaign, v press.Version, sizes []int, opt Options) []ScaleRow {
 	meas := c.Meas[v]
 	out := make([]ScaleRow, len(sizes))
-	forEach(len(sizes), opt.workers(), func(i int) {
+	ForEach(len(sizes), opt.workers(), func(i int) {
 		n := sizes[i]
 		cfg := opt.Config(v)
 		cfg.Nodes = n

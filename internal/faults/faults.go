@@ -91,6 +91,18 @@ func (t Type) Instantaneous() bool {
 	return false
 }
 
+// TypeByName resolves a fault name (as printed by Type.String) to its
+// Type. CLIs and the chaos repro reader use it to deserialize fault
+// names.
+func TypeByName(name string) (Type, bool) {
+	for _, t := range AllTypes {
+		if t.String() == name {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
 // MarkInjected and MarkRepaired are the recorder labels the injector
 // writes; stage extraction keys off them.
 const (
@@ -125,56 +137,120 @@ func (in *Injector) mark(label string) {
 }
 
 // emit traces injector activity (name is EvFaultInject or EvFaultHeal;
-// the fault name travels in the note).
-func (in *Injector) emit(name string, t Type, target int) {
+// the fault name travels in the note, with an optional detail — no-op
+// reasons, early-heal causes — appended in parentheses so heal events
+// still match injections on the fault-name prefix).
+func (in *Injector) emit(name string, t Type, target int, detail string) {
 	if trc := in.K.Tracer(); trc.Enabled() {
+		note := t.String()
+		if detail != "" {
+			note += " (" + detail + ")"
+		}
 		trc.Emit(trace.Event{
 			TS: in.K.Now(), Cat: trace.Fault, Name: name,
-			Node: target, Peer: trace.NoNode, Note: t.String(),
+			Node: target, Peer: trace.NoNode, Note: note,
 		})
 	}
 }
 
 // Schedule arranges for fault t to hit node target at time `at` and (for
-// non-instantaneous faults) to be repaired at at+dur.
-func (in *Injector) Schedule(t Type, target int, at sim.Time, dur time.Duration) {
+// non-instantaneous faults) to be repaired at at+dur. The fault type and
+// target are validated here, up front, so a malformed randomized schedule
+// surfaces as an error at scheduling time instead of a panic deep inside
+// inject mid-simulation. Injecting into a component that is already in
+// the faulted state (link already down, node already crashed or frozen,
+// process already dead, interposer already armed, ...) is a defined
+// no-op: the injection event is still traced, and an immediate matching
+// heal event records the reason, so every EvFaultInject has exactly one
+// EvFaultHeal regardless of how faults overlap.
+func (in *Injector) Schedule(t Type, target int, at sim.Time, dur time.Duration) error {
+	if int(t) < 0 || int(t) >= len(AllTypes) {
+		return fmt.Errorf("faults: unknown fault type %d", int(t))
+	}
+	if target < 0 || target >= in.D.Cfg.Nodes {
+		return fmt.Errorf("faults: target node %d out of range 0..%d",
+			target, in.D.Cfg.Nodes-1)
+	}
+	if dur < 0 {
+		return fmt.Errorf("faults: negative fault duration %v", dur)
+	}
 	in.K.At(at, func() {
 		in.mark(fmt.Sprintf("%s @n%d", MarkInjected, target))
-		in.emit(trace.EvFaultInject, t, target)
-		in.inject(t, target, dur)
+		in.emit(trace.EvFaultInject, t, target, "")
+		if reason, applied := in.inject(t, target, dur); !applied {
+			// Defined no-op: balance the trace immediately. Crucially,
+			// no repair is scheduled — a second LinkDown on an
+			// already-down link must not heal the first fault early.
+			in.mark(MarkRepaired)
+			in.emit(trace.EvFaultHeal, t, target, "no-op: "+reason)
+		}
 	})
+	return nil
 }
 
 func (in *Injector) repairAt(t Type, target int, d time.Duration, fn func()) {
 	in.K.After(d, func() {
 		fn()
 		in.mark(MarkRepaired)
-		in.emit(trace.EvFaultHeal, t, target)
+		in.emit(trace.EvFaultHeal, t, target, "")
 	})
 }
 
-func (in *Injector) inject(t Type, target int, dur time.Duration) {
+// inject applies the fault now. A false return means the injection was a
+// defined no-op (the reason says why): the target component is already in
+// the faulted state, or there is no live process to fault. Randomized
+// multi-fault schedules rely on this — overlapping and repeated faults
+// must never panic and must never schedule a repair that would heal an
+// earlier, still-active fault ahead of its time.
+func (in *Injector) inject(t Type, target int, dur time.Duration) (reason string, applied bool) {
 	node := in.D.HW.Node(target)
 	os := in.D.OS[target]
 	switch t {
 	case LinkDown:
+		if !node.Link.Up {
+			return "link already down", false
+		}
 		node.Link.Up = false
 		in.repairAt(t, target, dur, func() { node.Link.Up = true })
 	case SwitchDown:
+		if !in.D.HW.Sw.Up {
+			return "switch already down", false
+		}
 		in.D.HW.Sw.Up = false
 		in.repairAt(t, target, dur, func() { in.D.HW.Sw.Up = true })
 	case NodeCrash:
+		if !node.Up {
+			return "node already down", false
+		}
 		node.Crash()
 		// The node boots again after the fault duration (hard
 		// reboot); the daemon restarts PRESS afterwards.
 		in.repairAt(t, target, dur, node.Boot)
 	case NodeHang:
+		if !node.Up {
+			return "node down", false
+		}
+		if node.Frozen {
+			return "node already frozen", false
+		}
 		node.Freeze()
 		in.repairAt(t, target, dur, node.Unfreeze)
 	case KernelMemory:
+		if !node.Up {
+			return "node down", false
+		}
+		if os.SKBufFault() {
+			return "kernel-memory fault already active", false
+		}
 		os.SetSKBufFault(true)
 		in.repairAt(t, target, dur, func() { os.SetSKBufFault(false) })
 	case MemoryPinning:
+		if !node.Up {
+			return "node down", false
+		}
+		if os.PinThreshold() < os.PinLimit() {
+			return "pin threshold already lowered", false
+		}
 		frac := in.PinFraction
 		if frac <= 0 {
 			frac = 0.05
@@ -183,15 +259,20 @@ func (in *Injector) inject(t Type, target int, dur time.Duration) {
 		os.SetPinThreshold(lowered)
 		in.repairAt(t, target, dur, os.RestorePinThreshold)
 	case AppCrash:
-		if p := in.D.Process(target); p != nil {
-			p.Kill()
+		p := in.D.Process(target)
+		if p == nil {
+			return "no live process", false
 		}
+		p.Kill()
 		in.mark(MarkRepaired) // repair = restart, which the daemon does
-		in.emit(trace.EvFaultHeal, t, target)
+		in.emit(trace.EvFaultHeal, t, target, "")
 	case AppHang:
 		p := in.D.Process(target)
 		if p == nil {
-			return
+			return "no live process", false
+		}
+		if p.Stopped() {
+			return "process already stopped", false
 		}
 		p.Stop()
 		in.repairAt(t, target, dur, func() {
@@ -200,30 +281,49 @@ func (in *Injector) inject(t Type, target int, dur time.Duration) {
 			}
 		})
 	case BadPtrNull:
-		in.interposeOnce(t, target, func(p *comm.SendParams) { p.NullPtr = true })
+		return in.interposeOnce(t, target, func(p *comm.SendParams) { p.NullPtr = true })
 	case BadPtrOffset:
 		n := 1 + in.rng.Intn(100)
-		in.interposeOnce(t, target, func(p *comm.SendParams) { p.PtrOffset = n })
+		return in.interposeOnce(t, target, func(p *comm.SendParams) { p.PtrOffset = n })
 	case BadSizeOffset:
 		n := 1 + in.rng.Intn(100)
-		in.interposeOnce(t, target, func(p *comm.SendParams) { p.SizeOffset = n })
+		return in.interposeOnce(t, target, func(p *comm.SendParams) { p.SizeOffset = n })
 	default:
 		panic(fmt.Sprintf("faults: unknown fault %d", int(t)))
 	}
+	return "", true
 }
 
 // interposeOnce corrupts exactly the next intra-cluster send call on the
 // target node, mirroring the paper's interposition layer between PRESS and
-// the communication library.
-func (in *Injector) interposeOnce(t Type, target int, mutate func(*comm.SendParams)) {
+// the communication library. The fault ends either when the corrupted
+// call is issued or when the target process dies first — without the
+// process-death path the interposer would leak and the inject/heal pair
+// in the trace would stay unbalanced forever.
+func (in *Injector) interposeOnce(t Type, target int, mutate func(*comm.SendParams)) (reason string, applied bool) {
 	s := in.D.Server(target)
 	if s == nil || !s.Alive() {
-		return
+		return "no live process", false
+	}
+	if s.Interposed() {
+		return "interposer already armed", false
+	}
+	done := false
+	finish := func(detail string) {
+		if done {
+			return
+		}
+		done = true
+		s.SetInterposer(nil)
+		in.mark(MarkRepaired) // the corrupted call has been issued (or never will be)
+		in.emit(trace.EvFaultHeal, t, target, detail)
 	}
 	s.SetInterposer(func(p *comm.SendParams) {
 		mutate(p)
-		s.SetInterposer(nil)
-		in.mark(MarkRepaired) // the corrupted call has been issued
-		in.emit(trace.EvFaultHeal, t, target)
+		finish("")
 	})
+	if p := in.D.Process(target); p != nil {
+		p.OnExit(func(bool) { finish("process died before corrupted send") })
+	}
+	return "", true
 }

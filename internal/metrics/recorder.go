@@ -59,6 +59,7 @@ type Recorder struct {
 
 	totalOK   int64
 	totalFail int64
+	byOutcome [4]int64 // cumulative count per Outcome value
 }
 
 // NewRecorder returns a recorder that bins outcomes into windows of width
@@ -87,6 +88,9 @@ func (r *Recorder) Record(o Outcome) {
 		r.fail[idx]++
 		r.totalFail++
 	}
+	if int(o) >= 0 && int(o) < len(r.byOutcome) {
+		r.byOutcome[o]++
+	}
 }
 
 // MarkNow records an annotation at the current virtual time.
@@ -109,6 +113,17 @@ func (r *Recorder) MarkTime(label string) (sim.Time, bool) {
 
 // Totals returns the cumulative served and failed request counts.
 func (r *Recorder) Totals() (served, failed int64) { return r.totalOK, r.totalFail }
+
+// OutcomeCount returns the cumulative count of one outcome class. The
+// chaos conservation oracle checks that the per-outcome counts decompose
+// the totals exactly: served + refused + connect-timeout + request-timeout
+// must equal every request ever issued, nothing silently lost.
+func (r *Recorder) OutcomeCount(o Outcome) int64 {
+	if int(o) < 0 || int(o) >= len(r.byOutcome) {
+		return 0
+	}
+	return r.byOutcome[o]
+}
 
 // Availability returns the fraction of requests served successfully over
 // the whole run. It returns 1 for an empty run.

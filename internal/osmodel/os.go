@@ -114,6 +114,10 @@ func (o *OS) Pinned() int64 { return o.pinned }
 // PinThreshold returns the currently effective pin limit.
 func (o *OS) PinThreshold() int64 { return o.pinThreshold }
 
+// PinLimit returns the hard cap the threshold is restored to on repair; a
+// threshold below it means the pinning fault is currently active.
+func (o *OS) PinLimit() int64 { return o.pinLimit }
+
 // SetPinThreshold overrides the effective pin limit; the fault injector
 // lowers it to simulate exhaustion and restores it on repair. Lowering the
 // threshold below the amount already pinned does not unpin anything — it

@@ -128,6 +128,40 @@ func (d *Deployment) Start() {
 // Server returns the current server process on node i, or nil if none.
 func (d *Deployment) Server(i int) *Server { return d.servers[i] }
 
+// NodeView is one node's externally observable state: hardware, process
+// and membership, as an operator (or an invariant oracle) would see it.
+// Deployment.Inventory assembles one per node.
+type NodeView struct {
+	Node      int
+	Up        bool  // host powered and booted
+	Frozen    bool  // host hung (no state lost)
+	ProcAlive bool  // a PRESS process is running
+	Joined    bool  // that process completed its (re)join protocol
+	Members   []int // its sorted membership view (nil when no process)
+	Inflight  int   // client requests it is serving
+	Pending   int   // requests forwarded to peers and unanswered
+}
+
+// Inventory snapshots every node's observable state. The chaos oracles
+// read it after a run settles: membership convergence means every alive,
+// joined server's Members equals the set of nodes with alive servers.
+func (d *Deployment) Inventory() []NodeView {
+	out := make([]NodeView, d.Cfg.Nodes)
+	for i := 0; i < d.Cfg.Nodes; i++ {
+		node := d.HW.Node(i)
+		v := NodeView{Node: i, Up: node.Up, Frozen: node.Frozen}
+		if s := d.servers[i]; s != nil && s.Alive() {
+			v.ProcAlive = true
+			v.Joined = s.Joined()
+			v.Members = s.Members()
+			v.Inflight = s.Inflight()
+			v.Pending = s.PendingForwards()
+		}
+		out[i] = v
+	}
+	return out
+}
+
 // Process returns the OS process of the current server on node i, or nil.
 func (d *Deployment) Process(i int) *osmodel.Process {
 	if s := d.servers[i]; s != nil && s.Alive() {

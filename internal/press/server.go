@@ -253,8 +253,22 @@ func (s *Server) CacheLen() int { return s.cache.Len() }
 // Inflight returns the number of client requests being served.
 func (s *Server) Inflight() int { return s.inflight }
 
+// Joined reports whether this incarnation completed its (re)join
+// protocol — bootstrap servers are born joined; restarted ones join (or
+// give up and run standalone) within JoinTimeout.
+func (s *Server) Joined() bool { return s.joined }
+
+// PendingForwards returns the number of client requests this node has
+// forwarded to a service node and not yet answered.
+func (s *Server) PendingForwards() int { return len(s.pending) }
+
 // SetInterposer installs (or clears) the bad-parameter injection hook.
 func (s *Server) SetInterposer(fn func(*comm.SendParams)) { s.interpose = fn }
+
+// Interposed reports whether a bad-parameter interposer is currently
+// armed; the injector treats a second interposition on the same node as a
+// no-op while one is pending.
+func (s *Server) Interposed() bool { return s.interpose != nil }
 
 // FailFast terminates the process the way PRESS reacts to unexpected
 // communication errors.

@@ -111,7 +111,7 @@ func (r *Request) Complete() {
 	if r.timer != nil {
 		r.timer.Cancel()
 	}
-	r.clients.rec.Record(metrics.Served)
+	r.clients.settle(metrics.Served)
 }
 
 // Fail marks the request failed with the given outcome (used by the
@@ -124,7 +124,7 @@ func (r *Request) Fail(o metrics.Outcome) {
 	if r.timer != nil {
 		r.timer.Cancel()
 	}
-	r.clients.rec.Record(o)
+	r.clients.settle(o)
 }
 
 // Settled reports whether an outcome was recorded for this request.
@@ -175,6 +175,26 @@ type Clients struct {
 
 	running bool
 	rr      int
+
+	// Request-conservation accounting: every issued request must
+	// eventually record exactly one outcome. The chaos oracles compare
+	// these counters against the recorder's totals after a drain window.
+	issued  int64
+	settled int64
+}
+
+// Issued returns the number of requests generated so far.
+func (c *Clients) Issued() int64 { return c.issued }
+
+// Unsettled returns the number of issued requests with no recorded
+// outcome yet. After load stops and the timeout windows drain, a non-zero
+// value means a request was admitted but never resolved — a lost request.
+func (c *Clients) Unsettled() int64 { return c.issued - c.settled }
+
+// settle records one outcome and counts the settlement.
+func (c *Clients) settle(o metrics.Outcome) {
+	c.settled++
+	c.rec.Record(o)
 }
 
 // NewClients builds the load generator (trace may be a synthetic Zipf
@@ -216,22 +236,23 @@ func (c *Clients) scheduleNext() {
 func (c *Clients) issue() {
 	node := c.rr % c.cfg.Nodes
 	c.rr++
+	c.issued++
 	r := &Request{File: c.trace.Next(), Node: node, clients: c}
 	switch c.backend.Submit(r) {
 	case Accepted:
 		r.timer = c.k.After(c.cfg.RequestTimeout, func() {
 			if !r.settled {
 				r.settled = true
-				c.rec.Record(metrics.RequestTimeout)
+				c.settle(metrics.RequestTimeout)
 			}
 		})
 	case Refused:
 		r.settled = true
-		c.rec.Record(metrics.Refused)
+		c.settle(metrics.Refused)
 	case Unreachable:
 		r.settled = true
 		c.k.After(c.cfg.ConnectTimeout, func() {
-			c.rec.Record(metrics.ConnectTimeout)
+			c.settle(metrics.ConnectTimeout)
 		})
 	}
 }
