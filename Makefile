@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify vet race race-full race-fast golden trace-smoke chaos-smoke ci bench-campaign
+.PHONY: all build test verify vet race race-full race-fast golden trace-smoke lat-smoke chaos-smoke ci bench-campaign
 
 all: verify
 
@@ -64,6 +64,26 @@ trace-smoke:
 	$(GO) run ./cmd/tracecheck /tmp/vivo-trace-smoke/a.trace.json
 	rm -rf /tmp/vivo-trace-smoke
 
+# Latency smoke test: one short latency-recorded fault run, twice.
+# Checks (1) determinism — both runs byte-identical; (2) the histograms
+# are populated (the run-summary line reports a non-zero sample count);
+# (3) a pinned golden percentile line for seed 1 — the latency analogue
+# of the golden campaign test. If a change intentionally shifts the
+# numbers, update LAT_SMOKE_GOLDEN from the new output of the first
+# faultinject command below.
+LAT_SMOKE_DIR = /tmp/vivo-lat-smoke
+LAT_SMOKE_FLAGS = -version TCP-PRESS-HB -fault node-crash \
+	-stabilize 5s -fault-duration 10s -observe 10s -load 0.1 -latency
+LAT_SMOKE_GOLDEN = run:       n=10330 failed=1952 p50=1.040ms p95=389.120ms p99=4915.200ms p999=5832.704ms max=5998.926ms
+lat-smoke:
+	rm -rf $(LAT_SMOKE_DIR) && mkdir -p $(LAT_SMOKE_DIR)
+	$(GO) run ./cmd/faultinject $(LAT_SMOKE_FLAGS) > $(LAT_SMOKE_DIR)/a.txt
+	$(GO) run ./cmd/faultinject $(LAT_SMOKE_FLAGS) > $(LAT_SMOKE_DIR)/b.txt
+	cmp $(LAT_SMOKE_DIR)/a.txt $(LAT_SMOKE_DIR)/b.txt
+	grep -q 'run:       n=[1-9]' $(LAT_SMOKE_DIR)/a.txt
+	grep -qF '$(LAT_SMOKE_GOLDEN)' $(LAT_SMOKE_DIR)/a.txt
+	rm -rf $(LAT_SMOKE_DIR)
+
 # Chaos smoke test, both directions:
 #   1. a short seeded campaign under the real oracle suite comes back all
 #      green, and the repro/replay machinery is proven live by
@@ -88,7 +108,7 @@ chaos-smoke:
 	! $(GO) run ./cmd/chaos -replay $(CHAOS_SMOKE_DIR)/a/repro_run00.json
 	rm -rf $(CHAOS_SMOKE_DIR)
 
-ci: vet verify race golden trace-smoke chaos-smoke
+ci: vet verify race golden trace-smoke lat-smoke chaos-smoke
 
 # Serial vs parallel full-campaign wall clock (see EXPERIMENTS.md,
 # "Runtime"). Each iteration is a complete 60-run campaign.

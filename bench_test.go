@@ -374,6 +374,37 @@ func BenchmarkTracing(b *testing.B) {
 	})
 }
 
+// ---- Latency-recording overhead (DESIGN.md §11) ----
+
+// BenchmarkLatencyRecorder measures what end-to-end latency recording
+// adds to a complete fault run: off (the default — a nil recorder makes
+// every RecordLatency a pointer check) vs on (birth stamping, histogram
+// observes, per-stage extraction). The guard: recording must stay within
+// a few percent of the disabled path, because a histogram Observe is two
+// integer index computations and an increment, with no allocation after
+// the bin slice stops growing.
+func BenchmarkLatencyRecorder(b *testing.B) {
+	opt := experiments.Quick()
+	opt.Stabilize = 5 * time.Second
+	opt.FaultDuration = 10 * time.Second
+	opt.Observe = 10 * time.Second
+	opt.LoadFraction = 0.1
+	run := func(b *testing.B, latency bool) {
+		b.Helper()
+		o := opt
+		o.Latency = latency
+		var tput float64
+		for i := 0; i < b.N; i++ {
+			fr := experiments.RunFault(press.TCPPressHB, faults.NodeCrash, o)
+			tput = fr.Measured.Tn
+		}
+		// Identical across sub-benchmarks: recording must not change results.
+		b.ReportMetric(tput, "normal-reqps")
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
 // Micro-benchmarks of the simulators themselves: simulation cost of moving
 // one 8 KiB message end to end (wall-clock per message and kernel events
 // per message).

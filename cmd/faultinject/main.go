@@ -9,13 +9,15 @@
 // Perfetto-loadable JSON timeline (with -fault all, -trace names a
 // directory that receives one file per fault). The experiment-protocol
 // flags (-stabilize, -fault-duration, -observe, -load) shorten or
-// lengthen the run; short windows keep trace files small.
+// lengthen the run; short windows keep trace files small. -latency adds
+// end-to-end request latency: the per-stage quantile profile after the
+// stage table (and per-request duration spans in the trace).
 //
 // Usage:
 //
 //	faultinject [-version TCP-PRESS] [-fault link-down|all] [-full] [-seed 1]
 //	            [-parallel N] [-stabilize 30s] [-fault-duration 60s] [-observe 120s]
-//	            [-load 0.5] [-trace out.trace.json] [-csv]
+//	            [-load 0.5] [-latency] [-trace out.trace.json] [-csv]
 package main
 
 import (
@@ -32,37 +34,13 @@ import (
 func main() {
 	versionName := cli.VersionFlag("TCP-PRESS")
 	faultName := cli.FaultFlag("link-down")
-	full := flag.Bool("full", false, "paper-scale deployment (slower)")
-	seed := cli.SeedFlag()
-	parallel := cli.ParallelFlag()
-	stabilize := flag.Duration("stabilize", 0, "pre-injection steady period (0 = scale default)")
-	faultDur := flag.Duration("fault-duration", 0, "component downtime for transient faults (0 = scale default)")
-	observe := flag.Duration("observe", 0, "post-repair observation window (0 = scale default)")
-	load := flag.Float64("load", 0, "offered load as a fraction of Table-1 capacity (0 = scale default)")
+	ef := cli.NewExperimentFlags()
 	tracePath := cli.TraceFlag("this file (a directory with -fault all)")
 	csv := flag.Bool("csv", false, "emit the timeline as CSV instead of text")
 	flag.Parse()
 
 	version := cli.MustVersion(*versionName)
-
-	opt := experiments.Quick()
-	if *full {
-		opt = experiments.Full()
-	}
-	opt.Seed = *seed
-	opt.Parallel = *parallel
-	if *stabilize > 0 {
-		opt.Stabilize = *stabilize
-	}
-	if *faultDur > 0 {
-		opt.FaultDuration = *faultDur
-	}
-	if *observe > 0 {
-		opt.Observe = *observe
-	}
-	if *load > 0 {
-		opt.LoadFraction = *load
-	}
+	opt := ef.Options()
 
 	if *faultName == "all" {
 		if *tracePath != "" {
@@ -73,6 +51,9 @@ func main() {
 		}
 		for _, fr := range experiments.RunFaultColumn(version, opt) {
 			fmt.Println(fr.String())
+			if fr.Latency != nil {
+				fmt.Printf("  latency: %s\n", fr.Latency.TotalQuantiles())
+			}
 		}
 		if opt.TraceDir != "" {
 			fmt.Printf("traces written to %s/\n", opt.TraceDir)
@@ -112,6 +93,14 @@ func main() {
 	fmt.Printf("  D: %6.1fs @ %6.0f req/s   (recovery transient)\n", m.DD.Seconds(), m.TD)
 	fmt.Printf("  E:         @ %6.0f req/s   (post-recovery)\n", m.TE)
 	fmt.Printf("  splintered at end: %v (operator reset required)\n", m.Splintered)
+	if fr.Latency != nil {
+		fmt.Printf("\nPer-request latency (end-to-end):\n")
+		fmt.Printf("  run:       %s\n", fr.Latency.TotalQuantiles())
+		fmt.Print(fr.StageLat.String())
+		at, worst := fr.Latency.Timeline().WorstP99(10)
+		fmt.Printf("  worst per-second p99: %.1fms at %.0fs\n",
+			float64(worst.Microseconds())/1e3, at.Seconds())
+	}
 	if *tracePath != "" {
 		fmt.Printf("trace written to %s\n", *tracePath)
 	}

@@ -10,12 +10,18 @@
 //
 // Usage:
 //
-//	pressbench [-full] [-seed 1] [-parallel N] [-only table1,fig2,...]
+//	pressbench [-full] [-seed 1] [-parallel N] [-latency] [-only table1,fig2,...]
 //
 // The campaign's 60 runs (5 versions × 11 faults + 5 baselines) are
 // independent simulations and fan out across -parallel workers (default:
 // GOMAXPROCS). The worker count changes wall-clock time only — a given
 // seed produces bit-identical results at any setting.
+//
+// The "latency" section (always part of the default run; -latency makes
+// every other section record latency too) prints the latency-
+// performability table: per-request quantiles before/during the fault
+// for every version, the tail-latency view Table 2's throughput numbers
+// hide.
 package main
 
 import (
@@ -24,23 +30,17 @@ import (
 	"strings"
 	"time"
 
+	"vivo/internal/cli"
 	"vivo/internal/experiments"
 	"vivo/internal/press"
 )
 
 func main() {
-	full := flag.Bool("full", false, "paper-scale deployment and loads")
-	seed := flag.Int64("seed", 1, "deterministic seed")
-	parallel := flag.Int("parallel", 0, "concurrent experiment runs (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
-	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,crossover,extension,sweep,scaling,multifault")
+	ef := cli.NewExperimentFlags()
+	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,latency,crossover,extension,sweep,scaling,multifault")
 	flag.Parse()
 
-	opt := experiments.Quick()
-	if *full {
-		opt = experiments.Full()
-	}
-	opt.Seed = *seed
-	opt.Parallel = *parallel
+	opt := ef.Options()
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -74,6 +74,15 @@ func main() {
 			fmt.Println(fr.String())
 			fmt.Print(fr.Timeline.Plot(8, 96))
 			fmt.Println()
+		}
+	}
+
+	if sel("latency") {
+		section("Latency under faults (per-request, end-to-end)")
+		fmt.Print(experiments.RenderLatencyTable(experiments.LatencyTable(opt)))
+		for _, fr := range experiments.FigureLatency(opt) {
+			fmt.Printf("\n%s under %s: %s\n", fr.Version, fr.Fault, fr.Latency.TotalQuantiles())
+			fmt.Print(fr.StageLat.String())
 		}
 	}
 

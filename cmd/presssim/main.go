@@ -5,7 +5,7 @@
 // Usage:
 //
 //	presssim [-version VIA-PRESS-5] [-rate 6000] [-duration 60s] [-seed 1]
-//	         [-log access.log] [-trace run.trace.json] [-v]
+//	         [-log access.log] [-latency] [-trace run.trace.json] [-v]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"vivo/internal/cli"
+	"vivo/internal/latency"
 	"vivo/internal/metrics"
 	"vivo/internal/press"
 	"vivo/internal/sim"
@@ -30,6 +31,7 @@ func main() {
 	seed := cli.SeedFlag()
 	verbose := flag.Bool("v", false, "print per-second timeline")
 	logPath := flag.String("log", "", "replay a Common Log Format access log instead of the synthetic Zipf trace")
+	lat := cli.LatencyFlag()
 	tracePath := cli.TraceFlag("this file")
 	flag.Parse()
 
@@ -61,6 +63,9 @@ func main() {
 		}, rand.New(rand.NewSource(*seed+1)))
 	}
 	rec := metrics.NewRecorder(k, time.Second)
+	if *lat {
+		rec.SetLatency(latency.NewRecorder(k, time.Second))
+	}
 	d := press.NewDeployment(k, cfg)
 	d.Start()
 	d.WarmStart()
@@ -80,5 +85,12 @@ func main() {
 		rec.Timeline().MeanThroughput(10*time.Second, *duration), press.Table1Throughput(v))
 	if *verbose {
 		fmt.Fprint(os.Stdout, rec.Timeline().String())
+	}
+	if lr := rec.Latency(); lr != nil {
+		fmt.Printf("latency: %s\n", lr.TotalQuantiles())
+		if *verbose {
+			fmt.Print(lr.Timeline().String())
+		}
+		fmt.Print(lr.Total().Dump())
 	}
 }

@@ -23,6 +23,7 @@ type doc struct {
 type event struct {
 	Name string  `json:"name"`
 	Ph   string  `json:"ph"`
+	ID   string  `json:"id"`
 	TS   float64 `json:"ts"`
 	PID  *int    `json:"pid"`
 	TID  *int    `json:"tid"`
@@ -47,13 +48,20 @@ func main() {
 		var instants int
 		var last float64
 		for i, e := range d.TraceEvents {
-			if e.Ph != "i" && e.Ph != "M" {
+			switch e.Ph {
+			case "i", "M", "C":
+			case "b", "e":
+				// Async span events must carry the correlation id.
+				if e.ID == "" {
+					log.Fatalf("%s: event %d (%s) is an async %q without an id", path, i, e.Name, e.Ph)
+				}
+			default:
 				log.Fatalf("%s: event %d has unexpected phase %q", path, i, e.Ph)
 			}
 			if e.PID == nil || e.TID == nil {
 				log.Fatalf("%s: event %d (%s) lacks pid/tid", path, i, e.Name)
 			}
-			if e.Ph == "i" {
+			if e.Ph != "M" {
 				// The simulation emits in virtual-time order; a trace
 				// that violates it is corrupt.
 				if e.TS < last {

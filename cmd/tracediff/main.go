@@ -1,0 +1,53 @@
+// Command tracediff compares two trace files produced with -trace and
+// reports the first diverging event: its index, both sides' events, and
+// the nearest preceding landmark the traces still share (a run window,
+// fault injection/heal, or membership change) to orient the search.
+// Identical traces exit 0; diverging traces print the report and exit 1.
+//
+// Byte-identical traces for identical seeds are this repo's determinism
+// contract, so tracediff is the first tool to reach for when two runs
+// that should match do not — it turns "the files differ" into "the first
+// divergence is event 48123, right after the heal of node 3".
+//
+// Usage:
+//
+//	tracediff a.trace.json b.trace.json
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"vivo/internal/trace"
+)
+
+func parse(path string) []trace.ParsedEvent {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := trace.ParseJSON(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return evs
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracediff: ")
+	if len(os.Args) != 3 {
+		log.Fatal("usage: tracediff a.trace.json b.trace.json")
+	}
+	a, b := parse(os.Args[1]), parse(os.Args[2])
+	d := trace.Diff(a, b)
+	if d == nil {
+		fmt.Printf("traces identical (%d events)\n", len(a))
+		return
+	}
+	fmt.Printf("A: %s (%d events)\nB: %s (%d events)\n%s",
+		os.Args[1], len(a), os.Args[2], len(b), d)
+	os.Exit(1)
+}

@@ -8,10 +8,13 @@ package cli
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"strings"
+	"time"
 
+	"vivo/internal/experiments"
 	"vivo/internal/faults"
 	"vivo/internal/press"
 	"vivo/internal/sim"
@@ -70,6 +73,78 @@ func SeedFlag() *int64 {
 func ParallelFlag() *int {
 	return flag.Int("parallel", 0,
 		"concurrent simulation runs (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+}
+
+// LatencyFlag registers the standard -latency flag.
+func LatencyFlag() *bool {
+	return flag.Bool("latency", false,
+		"record end-to-end request latency (percentile timeline, histogram, per-stage profile); traced runs also gain per-request duration spans")
+}
+
+// ExperimentFlags bundles the flags every experiment-running command
+// (cmd/faultinject, cmd/pressbench) shares, so the experiment protocol is
+// documented once — in these help strings, whose defaults are read from
+// experiments.Quick()/Full() rather than hand-copied (EXPERIMENTS.md
+// "Scale and substitutions" describes the same two scales).
+type ExperimentFlags struct {
+	Full      *bool
+	Seed      *int64
+	Parallel  *int
+	Stabilize *time.Duration
+	FaultDur  *time.Duration
+	Observe   *time.Duration
+	Load      *float64
+	Latency   *bool
+}
+
+// NewExperimentFlags registers the shared experiment flags. Call before
+// flag.Parse.
+func NewExperimentFlags() *ExperimentFlags {
+	q, f := experiments.Quick(), experiments.Full()
+	return &ExperimentFlags{
+		Full:     flag.Bool("full", false, "paper-scale deployment and loads (slower; see EXPERIMENTS.md)"),
+		Seed:     SeedFlag(),
+		Parallel: ParallelFlag(),
+		Stabilize: flag.Duration("stabilize", 0,
+			windowHelp("pre-injection steady period", q.Stabilize, f.Stabilize)),
+		FaultDur: flag.Duration("fault-duration", 0,
+			windowHelp("component downtime for transient faults", q.FaultDuration, f.FaultDuration)),
+		Observe: flag.Duration("observe", 0,
+			windowHelp("post-repair observation window", q.Observe, f.Observe)),
+		Load: flag.Float64("load", 0, fmt.Sprintf(
+			"offered load as a fraction of Table-1 capacity (0 = scale default: quick %.2f, full %.2f)",
+			q.LoadFraction, f.LoadFraction)),
+		Latency: LatencyFlag(),
+	}
+}
+
+func windowHelp(what string, q, f time.Duration) string {
+	return fmt.Sprintf("%s (0 = scale default: quick %s, full %s)", what, q, f)
+}
+
+// Options assembles the experiment options the parsed flags select:
+// the scale's defaults with any explicitly-set window overriding.
+func (ef *ExperimentFlags) Options() experiments.Options {
+	opt := experiments.Quick()
+	if *ef.Full {
+		opt = experiments.Full()
+	}
+	opt.Seed = *ef.Seed
+	opt.Parallel = *ef.Parallel
+	opt.Latency = *ef.Latency
+	if *ef.Stabilize > 0 {
+		opt.Stabilize = *ef.Stabilize
+	}
+	if *ef.FaultDur > 0 {
+		opt.FaultDuration = *ef.FaultDur
+	}
+	if *ef.Observe > 0 {
+		opt.Observe = *ef.Observe
+	}
+	if *ef.Load > 0 {
+		opt.LoadFraction = *ef.Load
+	}
+	return opt
 }
 
 // TraceFlag registers the standard -trace flag. what describes the

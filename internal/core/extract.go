@@ -81,57 +81,92 @@ func stableToward(tl metrics.Timeline, from, to sim.Time, level float64) sim.Tim
 	return to
 }
 
+// bounds holds the timeline instants stage extraction derives for one
+// run. Extract turns them into per-stage mean throughputs; ExtractLatency
+// turns the same instants into per-stage latency windows, so both views
+// of a run segment it identically.
+type bounds struct {
+	// tailLevel is the regime the run converges to (normal, or
+	// splinter-degraded).
+	tailLevel float64
+	// detect is the detection instant (= Repaired when never detected).
+	detect sim.Time
+	// hasB reports whether a reconfiguration transient (stage B) exists:
+	// a detection happened before the repair.
+	hasB bool
+	// stable1 is the end of the reconfiguration transient (B→C); equal
+	// to detect when there is no stage B.
+	stable1 sim.Time
+	// stable2 is the end of the recovery transient (D→E). For
+	// instantaneous faults it is the end of the single degraded window.
+	stable2 sim.Time
+}
+
+// extractBounds locates the stage boundaries of one run.
+func extractBounds(obs RunObservation) bounds {
+	tl := obs.Timeline
+	b := bounds{tailLevel: tl.MeanThroughput(obs.End-30*time.Second, obs.End)}
+	if obs.Instantaneous {
+		b.detect = obs.Injected
+		b.stable1 = obs.Injected
+		b.stable2 = stableToward(tl, obs.Injected, obs.End, b.tailLevel)
+		return b
+	}
+	b.detect = obs.Repaired
+	if obs.HasDetect && obs.Detected < obs.Repaired {
+		b.detect = obs.Detected
+		b.hasB = true
+	}
+	b.stable1 = b.detect
+	if b.hasB {
+		cLevel := tl.MeanThroughput(obs.Repaired-15*time.Second, obs.Repaired)
+		b.stable1 = stableToward(tl, b.detect, obs.Repaired, cLevel)
+	}
+	b.stable2 = stableToward(tl, obs.Repaired, obs.End, b.tailLevel)
+	return b
+}
+
 // Extract measures the stage structure of one fault-injection run.
 func Extract(obs RunObservation) Measured {
 	tl := obs.Timeline
 	m := Measured{Splintered: obs.Splintered, Tn: obs.Tn}
-
-	// The regime the run converges to (normal, or splinter-degraded).
-	tailLevel := tl.MeanThroughput(obs.End-30*time.Second, obs.End)
+	b := extractBounds(obs)
 
 	if obs.Instantaneous {
 		// Point fault: the observable response is one degraded window
 		// from the fault to re-stabilisation. The model stretches it
 		// into stage C for the fault's MTTR (the production restart
 		// time), so T_C is the window's mean level.
-		stable := stableToward(tl, obs.Injected, obs.End, tailLevel)
-		m.TC = tl.MeanThroughput(obs.Injected, stable)
-		if stable <= obs.Injected {
-			m.TC = tailLevel
+		m.TC = tl.MeanThroughput(obs.Injected, b.stable2)
+		if b.stable2 <= obs.Injected {
+			m.TC = b.tailLevel
 		}
 		m.TB = m.TC
 		m.TD = m.TC
-		m.TE = tailLevel
+		m.TE = b.tailLevel
 		return m
 	}
 
-	detect := obs.Repaired
-	if obs.HasDetect && obs.Detected < obs.Repaired {
-		detect = obs.Detected
-	}
 	// Stage A: fault occurrence to detection.
-	m.DA = detect - obs.Injected
-	m.TA = tl.MeanThroughput(obs.Injected, detect)
-	if detect == obs.Injected {
+	m.DA = b.detect - obs.Injected
+	m.TA = tl.MeanThroughput(obs.Injected, b.detect)
+	if b.detect == obs.Injected {
 		m.TA = 0
 	}
 
 	// Stage B: reconfiguration transient toward the degraded regime
 	// (only when there was a detection before repair).
-	stable1 := detect
-	if obs.HasDetect && obs.Detected < obs.Repaired {
-		cLevel := tl.MeanThroughput(obs.Repaired-15*time.Second, obs.Repaired)
-		stable1 = stableToward(tl, detect, obs.Repaired, cLevel)
-		m.DB = stable1 - detect
-		m.TB = tl.MeanThroughput(detect, stable1)
+	if b.hasB {
+		m.DB = b.stable1 - b.detect
+		m.TB = tl.MeanThroughput(b.detect, b.stable1)
 	}
 
 	// Stage C: stable degraded regime until repair. Without a
 	// detection there is no reconfiguration: the regime that persists
 	// through the repair time is stage A's.
 	switch {
-	case stable1 < obs.Repaired:
-		m.TC = tl.MeanThroughput(stable1, obs.Repaired)
+	case b.stable1 < obs.Repaired:
+		m.TC = tl.MeanThroughput(b.stable1, obs.Repaired)
 	case obs.HasDetect:
 		m.TC = m.TB
 	default:
@@ -139,13 +174,12 @@ func Extract(obs RunObservation) Measured {
 	}
 
 	// Stage D: transient from repair toward the final regime.
-	stable2 := stableToward(tl, obs.Repaired, obs.End, tailLevel)
-	m.DD = stable2 - obs.Repaired
-	m.TD = tl.MeanThroughput(obs.Repaired, stable2)
+	m.DD = b.stable2 - obs.Repaired
+	m.TD = tl.MeanThroughput(obs.Repaired, b.stable2)
 
 	// Stage E: stable post-recovery regime.
-	m.TE = tl.MeanThroughput(stable2, obs.End)
-	if stable2 >= obs.End {
+	m.TE = tl.MeanThroughput(b.stable2, obs.End)
+	if b.stable2 >= obs.End {
 		m.TE = m.TD
 	}
 	return m

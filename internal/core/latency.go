@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vivo/internal/latency"
+	"vivo/internal/sim"
+)
+
+// StageLatencies is the latency side of the 7-stage extraction: the
+// end-to-end request quantiles of each observable stage window, segmented
+// by the same boundary instants Extract uses for throughput, so "stage C"
+// means the same time span in both views. Pre is the steady-state window
+// just before injection — the baseline the stages degrade from. The
+// modeled stages F and G have no measured requests (they are synthesized
+// from the environment, not observed), so their entries stay empty.
+type StageLatencies struct {
+	Pre latency.Quantiles
+	Q   [NumStages]latency.Quantiles
+}
+
+// preWindow is how much steady state before injection feeds the baseline
+// quantiles (matches the Tn measurement window in experiments).
+const preWindow = 20 * time.Second
+
+// ExtractLatency segments rec's samples into the run's stage windows.
+// For instantaneous faults the whole observable response is one degraded
+// window (stage C), mirroring Extract.
+func ExtractLatency(obs RunObservation, rec *latency.Recorder) StageLatencies {
+	b := extractBounds(obs)
+	var sl StageLatencies
+	from := obs.Injected - preWindow
+	if from < 0 {
+		from = 0
+	}
+	sl.Pre = rec.Window(from, obs.Injected)
+	if obs.Instantaneous {
+		sl.Q[StageC] = rec.Window(obs.Injected, b.stable2)
+		sl.Q[StageE] = rec.Window(b.stable2, obs.End)
+		return sl
+	}
+	sl.Q[StageA] = rec.Window(obs.Injected, b.detect)
+	sl.Q[StageB] = rec.Window(b.detect, b.stable1)
+	sl.Q[StageC] = rec.Window(b.stable1, obs.Repaired)
+	sl.Q[StageD] = rec.Window(obs.Repaired, b.stable2)
+	sl.Q[StageE] = rec.Window(b.stable2, obs.End)
+	return sl
+}
+
+// FaultWindow returns the quantiles of the whole component-fault window
+// [Injected, Repaired) — the degraded service a client actually saw,
+// regardless of how the stages subdivide it.
+func FaultWindow(obs RunObservation, rec *latency.Recorder) latency.Quantiles {
+	return rec.Window(obs.Injected, obs.Repaired)
+}
+
+// RecoveredWindow returns the quantiles of the final tail window
+// [End-30s, End), the regime the run converged to (the same window
+// Extract's tail level uses).
+func RecoveredWindow(obs RunObservation, rec *latency.Recorder) latency.Quantiles {
+	return rec.Window(obs.End-30*time.Second, obs.End)
+}
+
+// String renders the per-stage profile, one line per stage with samples,
+// skipping empty stages.
+func (sl StageLatencies) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  pre-fault: %s\n", sl.Pre)
+	for s := StageA; s < NumStages; s++ {
+		if sl.Q[s].Count == 0 && sl.Q[s].Failed == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  stage %s:   %s\n", s, sl.Q[s])
+	}
+	return b.String()
+}
+
+// StageWindow exposes the window bounds used for each stage so callers
+// (e.g. figure renderers) can annotate timelines; ok is false for stages
+// that do not exist in this run.
+func StageWindow(obs RunObservation, s Stage) (from, to sim.Time, ok bool) {
+	b := extractBounds(obs)
+	if obs.Instantaneous {
+		switch s {
+		case StageC:
+			return obs.Injected, b.stable2, true
+		case StageE:
+			return b.stable2, obs.End, true
+		}
+		return 0, 0, false
+	}
+	switch s {
+	case StageA:
+		return obs.Injected, b.detect, true
+	case StageB:
+		return b.detect, b.stable1, true
+	case StageC:
+		return b.stable1, obs.Repaired, true
+	case StageD:
+		return obs.Repaired, b.stable2, true
+	case StageE:
+		return b.stable2, obs.End, true
+	}
+	return 0, 0, false
+}

@@ -44,6 +44,14 @@ type Options struct {
 	// and RunCampaign memoizes ignoring this field.
 	Parallel int
 
+	// Latency attaches a latency recorder to every run: FaultRun.Latency
+	// and FaultRun.StageLat are filled, and traced runs additionally emit
+	// per-request duration spans. Recording draws no randomness and
+	// schedules no events, so results are bit-identical with the flag on
+	// or off (TestLatencyDeterministic and the tracediff test pin this);
+	// campaign memoization ignores it like the other side-effect fields.
+	Latency bool
+
 	// TraceDir, when non-empty, makes every RunFault write a
 	// Perfetto-loadable event trace to
 	// TraceDir/<version>_<fault>.trace.json (see TracePath). It is a
@@ -66,11 +74,12 @@ func (o Options) workers() int {
 
 // memoKey normalizes the options for campaign memoization: Parallel does
 // not affect results (same seed ⇒ bit-identical campaign at any worker
-// count) and TraceDir is a pure side effect, so neither may split the
-// cache.
+// count), and TraceDir and Latency are pure side effects (a campaign
+// stores Measured only), so none may split the cache.
 func (o Options) memoKey() Options {
 	o.Parallel = 0
 	o.TraceDir = ""
+	o.Latency = false
 	return o
 }
 

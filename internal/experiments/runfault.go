@@ -10,6 +10,7 @@ import (
 
 	"vivo/internal/core"
 	"vivo/internal/faults"
+	"vivo/internal/latency"
 	"vivo/internal/metrics"
 	"vivo/internal/press"
 	"vivo/internal/sim"
@@ -31,6 +32,13 @@ type FaultRun struct {
 	Measured core.Measured
 	// OfferedLoad is the request rate the clients generated.
 	OfferedLoad float64
+
+	// Latency and StageLat are filled only when Options.Latency is set:
+	// the run's end-to-end latency recorder (per-second histogram bins)
+	// and the per-stage quantile profile segmented by the same boundary
+	// instants Measured uses.
+	Latency  *latency.Recorder
+	StageLat *core.StageLatencies
 }
 
 // RunFault performs one fault-injection experiment: warm cluster, steady
@@ -69,6 +77,11 @@ func RunFaultTrace(v press.Version, ft faults.Type, opt Options, sink trace.Sink
 	k.SetTracer(trace.New(sink))
 	cfg := opt.Config(v)
 	rec := metrics.NewRecorder(k, time.Second)
+	var lrec *latency.Recorder
+	if opt.Latency {
+		lrec = latency.NewRecorder(k, time.Second)
+		rec.SetLatency(lrec)
+	}
 	d := press.NewDeployment(k, cfg)
 	d.Events = func(l string) { rec.MarkNow(l) }
 	d.Start()
@@ -120,7 +133,7 @@ func RunFaultTrace(v press.Version, ft faults.Type, opt Options, sink trace.Sink
 		}
 	}
 
-	return FaultRun{
+	fr := FaultRun{
 		Version:     v,
 		Fault:       ft,
 		Timeline:    tl,
@@ -128,6 +141,12 @@ func RunFaultTrace(v press.Version, ft faults.Type, opt Options, sink trace.Sink
 		Measured:    core.Extract(obs),
 		OfferedLoad: offered,
 	}
+	if lrec != nil {
+		sl := core.ExtractLatency(obs, lrec)
+		fr.Latency = lrec
+		fr.StageLat = &sl
+	}
+	return fr
 }
 
 // RunFaultColumn runs every Table-2 fault against one version — a single

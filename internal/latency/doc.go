@@ -1,0 +1,22 @@
+// Package latency measures end-to-end request latency — client connect to
+// final byte, including queueing, intra-cluster forwarding and the
+// robust-layer's send retries — and turns it into deterministic percentile
+// reports: per-run histograms, windowed p50/p95/p99/p999 timelines, and
+// per-stage profiles for the 7-stage performability model.
+//
+// The workload generator stamps each request's birth time and the metrics
+// recorder forwards the settle-time delta here (metrics.Recorder.SetLatency
+// attaches a Recorder; without one, every hook is a nil-check no-op). The
+// client's clock is the simulation kernel, so a latency is exactly the
+// virtual time between Clients.issue and the request's single settle call —
+// timeouts appear as samples at the connect (2 s) or request (6 s)
+// deadline.
+//
+// Everything is built for bit-identical reproducibility under
+// Options.Parallel: histograms are fixed log-scale bucket arrays with
+// integer-only index/quantile math (see histogram.go), merging is
+// element-wise addition (order-independent), and recording neither draws
+// randomness nor schedules events, so an attached recorder cannot perturb
+// the simulation it observes. TestLatencyDeterministic pins the first
+// property; the tracediff test in internal/experiments pins the second.
+package latency

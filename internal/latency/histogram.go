@@ -1,0 +1,211 @@
+package latency
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"time"
+)
+
+// The histogram is a fixed-shape log-scale bucket array over microsecond
+// values, in the style of HDR histograms: below subCount microseconds
+// every value has its own bucket; above that, each power of two is split
+// into subCount equal sub-buckets, bounding the relative quantization
+// error at 1/subCount (~3%). All bucket math is integer-only — index,
+// bounds and quantile walks involve no floating point on the value axis —
+// so two histograms built from the same multiset of samples are
+// bit-identical regardless of observation order, and Merge is a plain
+// element-wise add (commutative and associative). That is what makes
+// per-worker histograms safe to combine in any order under
+// Options.Parallel.
+const (
+	subBits  = 5
+	subCount = 1 << subBits // 32 sub-buckets per octave
+
+	// maxBlock caps the tracked range at [2^30, 2^31) µs (~35 virtual
+	// minutes); anything above — nothing in this simulator, where client
+	// timeouts cap latency at seconds — clamps into the top bucket.
+	maxBlock = 26
+
+	// NumBuckets is the fixed bucket-array length: subCount identity
+	// buckets plus maxBlock split octaves.
+	NumBuckets = (maxBlock + 1) * subCount
+)
+
+// maxValue is the largest representable microsecond value; larger samples
+// clamp to it (and land in the top bucket).
+const maxValue = int64(1)<<31 - 1
+
+// bucketIndex maps a microsecond value (caller clamps to [0, maxValue])
+// to its bucket.
+func bucketIndex(us int64) int {
+	if us < subCount {
+		return int(us)
+	}
+	msb := bits.Len64(uint64(us)) - 1
+	shift := msb - subBits
+	return (shift+1)<<subBits | int((us>>shift)&(subCount-1))
+}
+
+// bucketLow returns the inclusive lower bound (µs) of bucket idx.
+func bucketLow(idx int) int64 {
+	block := idx >> subBits
+	pos := int64(idx & (subCount - 1))
+	if block == 0 {
+		return pos
+	}
+	return (subCount + pos) << uint(block-1)
+}
+
+// bucketHigh returns the exclusive upper bound (µs) of bucket idx.
+func bucketHigh(idx int) int64 {
+	block := idx >> subBits
+	if block == 0 {
+		return bucketLow(idx) + 1
+	}
+	return bucketLow(idx) + int64(1)<<uint(block-1)
+}
+
+// representative is the value reported for samples in bucket idx: the
+// bucket midpoint (exact for the sub-microsecond identity buckets).
+func representative(idx int) int64 {
+	return (bucketLow(idx) + bucketHigh(idx)) / 2
+}
+
+// Histogram is a mergeable fixed-bucket log-scale latency histogram.
+// The zero value is an empty histogram ready for use.
+type Histogram struct {
+	counts [NumBuckets]int64
+	n      int64
+	sum    int64 // total µs across samples (after clamping)
+	max    int64 // largest clamped sample, exact
+}
+
+// Observe files one latency sample. Negative durations clamp to zero,
+// values beyond the tracked range clamp into the top bucket.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	if us > maxValue {
+		us = maxValue
+	}
+	h.counts[bucketIndex(us)]++
+	h.n++
+	h.sum += us
+	if us > h.max {
+		h.max = us
+	}
+}
+
+// Merge adds o's samples into h. Element-wise addition keeps the result
+// independent of merge order and of how samples were sharded.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Max returns the largest observed sample (exact, not quantized).
+func (h *Histogram) Max() time.Duration {
+	return time.Duration(h.max) * time.Microsecond
+}
+
+// Mean returns the average sample, at microsecond resolution.
+func (h *Histogram) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum/h.n) * time.Microsecond
+}
+
+// Quantile returns the q-quantile (q in [0,1]) as the midpoint of the
+// bucket holding the rank-⌈q·n⌉ sample, so the result is always one of a
+// fixed set of representable values and never interpolates. An empty
+// histogram returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return time.Duration(representative(i)) * time.Microsecond
+		}
+	}
+	return h.Max() // unreachable: counts sum to n
+}
+
+// Quantiles summarises a sample population at the standard report
+// percentiles. Failed is filled by recorders that track drops alongside
+// served latencies; a bare histogram leaves it zero.
+type Quantiles struct {
+	Count  int64
+	Failed int64
+	P50    time.Duration
+	P95    time.Duration
+	P99    time.Duration
+	P999   time.Duration
+	Max    time.Duration
+}
+
+// Quantiles evaluates the standard report percentiles.
+func (h *Histogram) Quantiles() Quantiles {
+	return Quantiles{
+		Count: h.n,
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the percentile line used in reports and the lat-smoke
+// golden check. Durations print in milliseconds with microsecond
+// precision — pure integer-derived values, so the string is deterministic.
+func (q Quantiles) String() string {
+	return fmt.Sprintf("n=%d failed=%d p50=%s p95=%s p99=%s p999=%s max=%s",
+		q.Count, q.Failed, fmtMS(q.P50), fmtMS(q.P95), fmtMS(q.P99), fmtMS(q.P999), fmtMS(q.Max))
+}
+
+// fmtMS formats a duration as milliseconds with three decimals (full
+// microsecond precision; bucket math guarantees whole microseconds).
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1e3)
+}
+
+// Dump renders the non-empty buckets, one "[lo,hi)µs count" line each —
+// the per-run histogram dump behind the -latency flag. Identical
+// histograms produce identical dumps.
+func (h *Histogram) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "samples %d, mean %s, max %s\n", h.n, fmtMS(h.Mean()), fmtMS(h.Max()))
+	for i, c := range h.counts {
+		if c != 0 {
+			fmt.Fprintf(&b, "  [%7d,%7d)µs %d\n", bucketLow(i), bucketHigh(i), c)
+		}
+	}
+	return b.String()
+}

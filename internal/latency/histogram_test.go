@@ -1,0 +1,152 @@
+package latency
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBucketInvariants checks the index/bounds math across the whole
+// tracked range: every value lands in a bucket that contains it, bucket
+// bounds tile the axis without gaps, and the representative stays inside.
+func TestBucketInvariants(t *testing.T) {
+	for idx := 0; idx < NumBuckets; idx++ {
+		lo, hi := bucketLow(idx), bucketHigh(idx)
+		if lo >= hi {
+			t.Fatalf("bucket %d: empty range [%d,%d)", idx, lo, hi)
+		}
+		if idx > 0 && bucketHigh(idx-1) != lo {
+			t.Fatalf("bucket %d: gap after previous (prev hi %d, lo %d)", idx, bucketHigh(idx-1), lo)
+		}
+		if got := bucketIndex(lo); got != idx {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", lo, got, idx)
+		}
+		if got := bucketIndex(hi - 1); got != idx {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", hi-1, got, idx)
+		}
+		if r := representative(idx); r < lo || r >= hi {
+			t.Fatalf("bucket %d: representative %d outside [%d,%d)", idx, r, lo, hi)
+		}
+	}
+	if bucketIndex(maxValue) != NumBuckets-1 {
+		t.Fatalf("maxValue %d lands in bucket %d, want top bucket %d", maxValue, bucketIndex(maxValue), NumBuckets-1)
+	}
+	// Relative quantization error stays under 2/subCount everywhere above
+	// the identity range.
+	for _, us := range []int64{100, 999, 12345, 1e6, 6e6, 1e9} {
+		idx := bucketIndex(us)
+		lo, hi := bucketLow(idx), bucketHigh(idx)
+		if width := hi - lo; width*subCount > 2*us {
+			t.Fatalf("value %d: bucket width %d too coarse", us, width)
+		}
+	}
+}
+
+// TestMergeDeterminism shards one sample stream across workers, merges
+// the shards in several different orders, and requires bit-identical
+// buckets — the property that makes per-worker histograms safe to combine
+// under Options.Parallel.
+func TestMergeDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	samples := make([]time.Duration, 20000)
+	for i := range samples {
+		// Log-uniform over [1µs, ~16s], the simulator's latency range.
+		samples[i] = time.Duration(1+rng.Int63n(1<<24)) * time.Microsecond
+	}
+
+	var direct Histogram
+	for _, s := range samples {
+		direct.Observe(s)
+	}
+
+	const workers = 8
+	shards := make([]Histogram, workers)
+	for i, s := range samples {
+		shards[i%workers].Observe(s)
+	}
+
+	orders := [][]int{
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{7, 6, 5, 4, 3, 2, 1, 0},
+		{3, 0, 7, 1, 5, 2, 6, 4},
+	}
+	for _, order := range orders {
+		var merged Histogram
+		for _, w := range order {
+			merged.Merge(&shards[w])
+		}
+		if merged != direct {
+			t.Fatalf("merge order %v: merged histogram differs from direct observation", order)
+		}
+		if merged.Dump() != direct.Dump() {
+			t.Fatalf("merge order %v: dumps differ", order)
+		}
+		if merged.Quantiles() != direct.Quantiles() {
+			t.Fatalf("merge order %v: quantiles differ", order)
+		}
+	}
+}
+
+// TestPercentileEdgeCases pins the degenerate populations: empty,
+// single-sample, and a fully saturated top bucket.
+func TestPercentileEdgeCases(t *testing.T) {
+	var empty Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if empty.Mean() != 0 || empty.Max() != 0 || empty.Count() != 0 {
+		t.Fatalf("empty histogram not all-zero: mean=%v max=%v n=%d", empty.Mean(), empty.Max(), empty.Count())
+	}
+
+	var single Histogram
+	single.Observe(873 * time.Microsecond)
+	want := time.Duration(representative(bucketIndex(873))) * time.Microsecond
+	for _, q := range []float64{0, 0.001, 0.5, 0.999, 1} {
+		if got := single.Quantile(q); got != want {
+			t.Fatalf("single-sample Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if single.Max() != 873*time.Microsecond {
+		t.Fatalf("single-sample Max = %v, want 873µs", single.Max())
+	}
+
+	// Saturation: samples beyond the tracked range clamp into the top
+	// bucket, and every quantile reports from there.
+	var sat Histogram
+	for i := 0; i < 100; i++ {
+		sat.Observe(10 * time.Hour)
+	}
+	top := time.Duration(representative(NumBuckets-1)) * time.Microsecond
+	if got := sat.Quantile(0.5); got != top {
+		t.Fatalf("saturated Quantile(0.5) = %v, want top-bucket representative %v", got, top)
+	}
+	if got := sat.Max(); got != time.Duration(maxValue)*time.Microsecond {
+		t.Fatalf("saturated Max = %v, want clamp %v", got, time.Duration(maxValue)*time.Microsecond)
+	}
+	// Negative durations clamp to zero, not panic.
+	var neg Histogram
+	neg.Observe(-time.Second)
+	if got := neg.Quantile(1); got != 0 {
+		t.Fatalf("negative sample Quantile(1) = %v, want 0", got)
+	}
+}
+
+// TestQuantileMonotonic checks that quantiles never decrease in q and
+// bracket the true order statistics within one bucket.
+func TestQuantileMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		h.Observe(time.Duration(rng.Int63n(10_000_000)) * time.Microsecond)
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotonic: q=%.2f gives %v after %v", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,166 @@
+package latency
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vivo/internal/sim"
+)
+
+// Recorder accumulates end-to-end request latencies into fixed-width time
+// bins, one Histogram per bin, alongside a per-bin count of failed
+// requests (whose "latency" is the client timeout, not a service time —
+// they are counted, not mixed into the percentile population). The zero
+// value is not usable; construct with NewRecorder.
+//
+// Recording draws no randomness and schedules no events, so attaching a
+// recorder cannot perturb a simulation: a run with and without one is
+// event-for-event identical (cmd/tracediff proves this for the traced
+// seed-1 run).
+type Recorder struct {
+	k   *sim.Kernel
+	bin time.Duration
+
+	hists  []*Histogram
+	failed []int64
+
+	total       Histogram
+	totalFailed int64
+}
+
+// NewRecorder returns a recorder binning latencies into windows of width
+// bin (1 s matches the throughput recorder's figures).
+func NewRecorder(k *sim.Kernel, bin time.Duration) *Recorder {
+	if bin <= 0 {
+		panic("latency: bin width must be positive")
+	}
+	return &Recorder{k: k, bin: bin}
+}
+
+// BinWidth returns the configured bin width.
+func (r *Recorder) BinWidth() time.Duration { return r.bin }
+
+// Record files one request's end-to-end latency at the current virtual
+// time (the settle instant — a request is attributed to the bin its
+// outcome lands in, like the throughput recorder). served=false counts a
+// failure instead of adding to the percentile population.
+func (r *Recorder) Record(d time.Duration, served bool) {
+	idx := int(r.k.Now() / r.bin)
+	for len(r.hists) <= idx {
+		r.hists = append(r.hists, &Histogram{})
+		r.failed = append(r.failed, 0)
+	}
+	if served {
+		r.hists[idx].Observe(d)
+		r.total.Observe(d)
+	} else {
+		r.failed[idx]++
+		r.totalFailed++
+	}
+}
+
+// Total returns the whole-run histogram (served requests only).
+func (r *Recorder) Total() *Histogram { return &r.total }
+
+// TotalQuantiles summarises the whole run.
+func (r *Recorder) TotalQuantiles() Quantiles {
+	q := r.total.Quantiles()
+	q.Failed = r.totalFailed
+	return q
+}
+
+// Window merges the bins whose start lies in [from, to) and returns their
+// quantiles — the per-stage latency profile primitive. Merging fixed
+// bucket arrays is order-independent, so a window's quantiles depend only
+// on the samples, never on evaluation order.
+func (r *Recorder) Window(from, to sim.Time) Quantiles {
+	var h Histogram
+	var failed int64
+	for i := range r.hists {
+		at := time.Duration(i) * r.bin
+		if at >= from && at < to {
+			h.Merge(r.hists[i])
+			failed += r.failed[i]
+		}
+	}
+	q := h.Quantiles()
+	q.Failed = failed
+	return q
+}
+
+// Point is one bin of a latency timeline.
+type Point struct {
+	At     sim.Time // start of the bin
+	Count  int64    // served requests settling in the bin
+	Failed int64    // failed requests settling in the bin
+	P50    time.Duration
+	P95    time.Duration
+	P99    time.Duration
+	P999   time.Duration
+}
+
+// Timeline is the windowed percentile series, the latency companion to
+// metrics.Timeline.
+type Timeline struct {
+	Bin    time.Duration
+	Points []Point
+}
+
+// Timeline evaluates every bin's percentiles.
+func (r *Recorder) Timeline() Timeline {
+	pts := make([]Point, len(r.hists))
+	for i, h := range r.hists {
+		pts[i] = Point{
+			At:     time.Duration(i) * r.bin,
+			Count:  h.n,
+			Failed: r.failed[i],
+			P50:    h.Quantile(0.50),
+			P95:    h.Quantile(0.95),
+			P99:    h.Quantile(0.99),
+			P999:   h.Quantile(0.999),
+		}
+	}
+	return Timeline{Bin: r.bin, Points: pts}
+}
+
+// WorstP99 returns the largest per-bin p99 with its bin start — the tail
+// spike a whole-run percentile averages away. Bins with fewer than
+// minCount samples are ignored (a 1-sample bin's "p99" is noise).
+func (tl Timeline) WorstP99(minCount int64) (sim.Time, time.Duration) {
+	var at sim.Time
+	var worst time.Duration
+	for _, p := range tl.Points {
+		if p.Count >= minCount && p.P99 > worst {
+			at, worst = p.At, p.P99
+		}
+	}
+	return at, worst
+}
+
+// String renders the timeline as a fixed-width table (milliseconds), one
+// row per bin — deterministic, so two identical runs render identically.
+func (tl Timeline) String() string {
+	var b strings.Builder
+	b.WriteString("  time       n   fail      p50      p95      p99     p999\n")
+	for _, p := range tl.Points {
+		fmt.Fprintf(&b, "%6.0fs %6d %6d %8s %8s %8s %8s\n",
+			p.At.Seconds(), p.Count, p.Failed,
+			fmtMS(p.P50), fmtMS(p.P95), fmtMS(p.P99), fmtMS(p.P999))
+	}
+	return b.String()
+}
+
+// CSV renders "time_s,served,failed,p50_ms,p95_ms,p99_ms,p999_ms" rows
+// with a header, ready for external plotting.
+func (tl Timeline) CSV() string {
+	var b strings.Builder
+	b.WriteString("time_s,served,failed,p50_ms,p95_ms,p99_ms,p999_ms\n")
+	for _, p := range tl.Points {
+		fmt.Fprintf(&b, "%.0f,%d,%d,%.3f,%.3f,%.3f,%.3f\n",
+			p.At.Seconds(), p.Count, p.Failed,
+			float64(p.P50.Microseconds())/1e3, float64(p.P95.Microseconds())/1e3,
+			float64(p.P99.Microseconds())/1e3, float64(p.P999.Microseconds())/1e3)
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package latency
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vivo/internal/sim"
+)
+
+// TestRecorderWindows drives a recorder through a scripted run and checks
+// bin attribution, window merging, and the failed-count bookkeeping.
+func TestRecorderWindows(t *testing.T) {
+	k := sim.New(1)
+	r := NewRecorder(k, time.Second)
+
+	// Two served requests settle in bin 0, one (slow) in bin 2, and a
+	// timeout is counted in bin 2.
+	k.After(100*time.Millisecond, func() { r.Record(5*time.Millisecond, true) })
+	k.After(900*time.Millisecond, func() { r.Record(20*time.Millisecond, true) })
+	k.After(2500*time.Millisecond, func() { r.Record(2*time.Second, true) })
+	k.After(2600*time.Millisecond, func() { r.Record(6*time.Second, false) })
+	k.Run(3 * time.Second)
+
+	if q := r.TotalQuantiles(); q.Count != 3 || q.Failed != 1 {
+		t.Fatalf("totals: got n=%d failed=%d, want 3/1", q.Count, q.Failed)
+	}
+	if q := r.Window(0, time.Second); q.Count != 2 || q.Failed != 0 {
+		t.Fatalf("bin-0 window: got n=%d failed=%d, want 2/0", q.Count, q.Failed)
+	}
+	if q := r.Window(2*time.Second, 3*time.Second); q.Count != 1 || q.Failed != 1 {
+		t.Fatalf("bin-2 window: got n=%d failed=%d, want 1/1", q.Count, q.Failed)
+	}
+	whole := r.Window(0, 3*time.Second)
+	if whole != r.TotalQuantiles() {
+		t.Fatalf("whole-run window %+v != totals %+v", whole, r.TotalQuantiles())
+	}
+	if empty := r.Window(10*time.Second, 20*time.Second); empty.Count != 0 || empty.P99 != 0 {
+		t.Fatalf("empty window not zero: %+v", empty)
+	}
+
+	tl := r.Timeline()
+	if len(tl.Points) != 3 {
+		t.Fatalf("timeline has %d bins, want 3", len(tl.Points))
+	}
+	if tl.Points[1].Count != 0 || tl.Points[2].Count != 1 || tl.Points[2].Failed != 1 {
+		t.Fatalf("timeline bins wrong: %+v", tl.Points)
+	}
+	at, worst := tl.WorstP99(1)
+	if at != 2*time.Second || worst != tl.Points[2].P99 {
+		t.Fatalf("WorstP99 = (%v, %v), want bin 2", at, worst)
+	}
+	if !strings.Contains(tl.String(), "p99") || !strings.Contains(tl.CSV(), "p99_ms") {
+		t.Fatalf("renderings missing headers:\n%s\n%s", tl.String(), tl.CSV())
+	}
+}
+
+// TestRecorderRenderDeterministic replays the same scripted run twice and
+// requires byte-identical renderings.
+func TestRecorderRenderDeterministic(t *testing.T) {
+	run := func() (string, string, string) {
+		k := sim.New(3)
+		r := NewRecorder(k, time.Second)
+		for i := 1; i <= 50; i++ {
+			d := time.Duration(i*i) * 37 * time.Microsecond
+			at := time.Duration(i) * 90 * time.Millisecond
+			served := i%7 != 0
+			k.After(at, func() { r.Record(d, served) })
+		}
+		k.Run(5 * time.Second)
+		return r.Timeline().String(), r.Total().Dump(), r.TotalQuantiles().String()
+	}
+	tl1, d1, q1 := run()
+	tl2, d2, q2 := run()
+	if tl1 != tl2 || d1 != d2 || q1 != q2 {
+		t.Fatalf("repeated runs render differently:\n%s\nvs\n%s", tl1+d1+q1, tl2+d2+q2)
+	}
+}

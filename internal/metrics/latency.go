@@ -1,0 +1,29 @@
+package metrics
+
+import (
+	"time"
+
+	"vivo/internal/latency"
+)
+
+// The latency hook: a Recorder optionally carries a latency.Recorder next
+// to its throughput bins. The workload generator reports every settle
+// through RecordLatency; without an attached recorder that is a single
+// nil-check, so runs that never asked for latency (the golden baseline,
+// every pre-existing experiment) are bit-for-bit unchanged.
+
+// SetLatency attaches (or, with nil, detaches) a latency recorder.
+func (r *Recorder) SetLatency(l *latency.Recorder) { r.lat = l }
+
+// Latency returns the attached latency recorder, or nil.
+func (r *Recorder) Latency() *latency.Recorder { return r.lat }
+
+// RecordLatency files one request's end-to-end latency alongside the
+// outcome already recorded via Record. Served requests enter the
+// percentile population; everything else counts as a failure in the same
+// bin. A no-op when no latency recorder is attached.
+func (r *Recorder) RecordLatency(d time.Duration, o Outcome) {
+	if r.lat != nil {
+		r.lat.Record(d, o == Served)
+	}
+}

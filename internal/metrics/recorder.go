@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"vivo/internal/latency"
 	"vivo/internal/sim"
 )
 
@@ -60,6 +61,9 @@ type Recorder struct {
 	totalOK   int64
 	totalFail int64
 	byOutcome [4]int64 // cumulative count per Outcome value
+
+	// lat, when non-nil, receives per-request latencies (see latency.go).
+	lat *latency.Recorder
 }
 
 // NewRecorder returns a recorder that bins outcomes into windows of width

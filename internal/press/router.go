@@ -75,7 +75,7 @@ func (s *Server) forward(r *workload.Request, svc int) {
 	s.nextReqID++
 	id := s.nextReqID
 	s.pending[id] = pendingFwd{req: r, svc: svc}
-	s.send(svc, msgForward, wire{ReqID: id, File: r.File}, smallMsgSize, s.cost.SendSmall)
+	s.send(svc, msgForward, wire{ReqID: id, GID: r.ID, File: r.File}, smallMsgSize, s.cost.SendSmall)
 }
 
 // pickService returns the least-loaded member caching f.
@@ -125,10 +125,16 @@ func (s *Server) insertFile(f int) {
 	}
 }
 
-// handleForward serves a request forwarded by an initial node.
+// handleForward serves a request forwarded by an initial node. When
+// tracing, the service work is bracketed by a forward-serve span under
+// the request's global id, nesting inside the client's request span in
+// the per-request flame (a span left open means this incarnation died
+// mid-service).
 func (s *Server) handleForward(w wire) {
+	s.emitSpan(trace.PhBegin, trace.EvForwardServe, w.From, w.GID, int64(w.File))
 	reply := func() {
-		s.send(w.From, msgFileData, wire{ReqID: w.ReqID},
+		s.emitSpan(trace.PhEnd, trace.EvForwardServe, w.From, w.GID, 0)
+		s.send(w.From, msgFileData, wire{ReqID: w.ReqID, GID: w.GID},
 			int(s.cfg.FileSize), s.cost.SendData)
 	}
 	if s.cache.Touch(w.File) {

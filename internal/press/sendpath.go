@@ -54,6 +54,7 @@ type blockingSends struct {
 func (e *blockingSends) transmitOrQueue(dst int, p comm.SendParams) {
 	if e.blocked {
 		e.outQ = append(e.outQ, outMsg{dst: dst, params: p})
+		e.s.emitDepth(trace.EvOutQ, len(e.outQ))
 		return
 	}
 	e.trySend(outMsg{dst: dst, params: p})
@@ -77,6 +78,7 @@ func (e *blockingSends) trySend(m outMsg) bool {
 		return true
 	case errors.Is(err, comm.ErrWouldBlock):
 		e.outQ = append([]outMsg{m}, e.outQ...)
+		s.emitDepth(trace.EvOutQ, len(e.outQ))
 		if !e.blocked {
 			e.blocked = true
 			s.node.CPU.Block()
@@ -107,15 +109,20 @@ func (e *blockingSends) onWritable(int) { e.drainOut() }
 func (e *blockingSends) kick() { e.drainOut() }
 
 func (e *blockingSends) drainOut() {
+	popped := false
 	for len(e.outQ) > 0 {
 		m := e.outQ[0]
 		e.outQ = e.outQ[1:]
+		popped = true
 		if !e.trySend(m) {
-			return // re-blocked (trySend re-queued the message)
+			return // re-blocked (trySend re-queued and re-sampled the depth)
 		}
 		if !e.s.alive {
 			return
 		}
+	}
+	if popped {
+		e.s.emitDepth(trace.EvOutQ, 0)
 	}
 	if e.blocked {
 		e.blocked = false
@@ -130,6 +137,9 @@ func (e *blockingSends) dropQueuedTo(dst int) {
 		if m.dst != dst {
 			kept = append(kept, m)
 		}
+	}
+	if len(kept) != len(e.outQ) {
+		e.s.emitDepth(trace.EvOutQ, len(kept))
 	}
 	e.outQ = kept
 }
@@ -177,6 +187,18 @@ func (e *creditSends) pushPeer(m outMsg) {
 	}
 	e.peerQ[m.dst] = append(e.peerQ[m.dst], m)
 	e.s.emit(trace.Press, trace.EvPeerDefer, m.dst, int64(len(e.peerQ[m.dst])), "")
+	e.s.emitDepth(trace.EvPeerQ, e.total())
+}
+
+// total is the deferred backlog across all peers (the EvPeerQ counter
+// series; summing a map is order-independent, so tracing stays
+// deterministic).
+func (e *creditSends) total() int {
+	n := 0
+	for _, q := range e.peerQ {
+		n += len(q)
+	}
+	return n
 }
 
 // trySend attempts one send on a credit-managed channel; pushback only
@@ -218,6 +240,9 @@ func (e *creditSends) kick() {}
 
 func (e *creditSends) drainPeer(dst int) {
 	s := e.s
+	if len(e.peerQ[dst]) > 0 {
+		defer func() { e.s.emitDepth(trace.EvPeerQ, e.total()) }()
+	}
 	for len(e.peerQ[dst]) > 0 {
 		q := e.peerQ[dst]
 		m := q[0]
@@ -248,7 +273,14 @@ func (e *creditSends) drainPeer(dst int) {
 	delete(e.peerQ, dst)
 }
 
-func (e *creditSends) dropQueuedTo(dst int) { delete(e.peerQ, dst) }
+func (e *creditSends) dropQueuedTo(dst int) {
+	if len(e.peerQ[dst]) > 0 {
+		delete(e.peerQ, dst)
+		e.s.emitDepth(trace.EvPeerQ, e.total())
+		return
+	}
+	delete(e.peerQ, dst)
+}
 
 func (e *creditSends) reset() { e.peerQ = make(map[int][]outMsg) }
 

@@ -34,8 +34,12 @@ const (
 // wire is the payload of every intra-cluster message. Load is piggybacked
 // on all messages, as in PRESS.
 type wire struct {
-	From    int
-	ReqID   uint64
+	From  int
+	ReqID uint64
+	// GID is the client request's global id (workload.Request.ID),
+	// propagated on Forward/FileData so the service node's trace spans
+	// join the same per-request flame as the initial node's.
+	GID     uint64
 	File    int
 	Node    int   // subject of NodeDown / NodeUp / JoinReq
 	Members []int // JoinAccept
@@ -199,6 +203,29 @@ func (s *Server) emit(cat trace.Category, name string, peer int, arg int64, note
 		TS: s.k().Now(), Cat: cat, Name: name,
 		Node: s.id, Peer: peer, Arg: arg, Note: note,
 	})
+}
+
+// emitSpan traces one side of an async request span (Ph = trace.PhBegin
+// or PhEnd) correlated by the client request's global id.
+func (s *Server) emitSpan(ph byte, name string, peer int, id uint64, arg int64) {
+	if trc := s.trc(); trc.Enabled() && id != 0 {
+		trc.Emit(trace.Event{
+			TS: s.k().Now(), Cat: trace.Request, Name: name,
+			Node: s.id, Peer: peer, Arg: arg, Ph: ph, ID: id,
+		})
+	}
+}
+
+// emitDepth traces a send-queue depth counter sample (name is
+// trace.EvOutQ or trace.EvPeerQ; zero is a real sample — the queue
+// drained).
+func (s *Server) emitDepth(name string, depth int) {
+	if trc := s.trc(); trc.Enabled() {
+		trc.Emit(trace.Event{
+			TS: s.k().Now(), Cat: trace.Press, Name: name,
+			Node: s.id, Peer: trace.NoNode, Arg: int64(depth), Ph: trace.PhCounter,
+		})
+	}
 }
 
 // emitMembership traces a membership-view change. trigger must be a

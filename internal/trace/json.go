@@ -8,11 +8,14 @@ import (
 )
 
 // JSON writes events in the Chrome trace_event format, loadable by
-// Perfetto (ui.perfetto.dev) and chrome://tracing. Every event becomes a
-// thread-scoped instant on the track (pid = node, tid = category), with
-// peer/arg/note carried in args; metadata records name each process
-// "node N" (or "cluster" for NoNode) and each thread after its category,
-// so the viewer shows one swimlane per node per layer.
+// Perfetto (ui.perfetto.dev) and chrome://tracing. An instant event
+// (Ph zero) becomes a thread-scoped instant on the track (pid = node,
+// tid = category) with peer/arg/note carried in args; PhBegin/PhEnd pairs
+// become async spans correlated by id (per-request flames, spanning nodes
+// when a request was forwarded); PhCounter samples become counter tracks
+// (queue depths). Metadata records name each process "node N" (or
+// "cluster" for NoNode) and each thread after its category, so the viewer
+// shows one swimlane per node per layer.
 //
 // The output is deterministic: identical event streams produce
 // byte-identical files, which is what makes traces diffable artifacts
@@ -55,8 +58,23 @@ func (j *JSON) Record(e Event) {
 	j.nameTrack(pid, e.Cat)
 	j.sep()
 	// ts is microseconds; three decimals keep full nanosecond precision.
-	j.writeString(fmt.Sprintf(`{"name":%s,"cat":"%s","ph":"i","s":"t","ts":%.3f,"pid":%d,"tid":%d`,
-		quote(e.Name), e.Cat, float64(e.TS.Nanoseconds())/1e3, pid, int(e.Cat)))
+	ts := float64(e.TS.Nanoseconds()) / 1e3
+	switch e.Ph {
+	case PhBegin, PhEnd:
+		// Async span event: the id ties begin/end (and nested spans on
+		// other nodes) together into one flame.
+		j.writeString(fmt.Sprintf(`{"name":%s,"cat":"%s","ph":"%c","id":"0x%x","ts":%.3f,"pid":%d,"tid":%d`,
+			quote(e.Name), e.Cat, e.Ph, e.ID, ts, pid, int(e.Cat)))
+	case PhCounter:
+		// Counter sample: the args value is the series; zero is a real
+		// sample (a queue draining to empty), so it is always written.
+		j.writeString(fmt.Sprintf(`{"name":%s,"cat":"%s","ph":"C","ts":%.3f,"pid":%d,"tid":%d,"args":{"value":%d}}`,
+			quote(e.Name), e.Cat, ts, pid, int(e.Cat), e.Arg))
+		return
+	default:
+		j.writeString(fmt.Sprintf(`{"name":%s,"cat":"%s","ph":"i","s":"t","ts":%.3f,"pid":%d,"tid":%d`,
+			quote(e.Name), e.Cat, ts, pid, int(e.Cat)))
+	}
 	j.writeString(`,"args":{`)
 	comma := false
 	if e.Peer != NoNode {

@@ -93,6 +93,39 @@ const (
 	EvReqAdmit = "req-admit"
 	EvReqServe = "req-serve"
 	EvReqDrop  = "req-drop"
+
+	// EvRequest: the client-side request lifecycle as an async duration
+	// span (Ph = PhBegin at issue, PhEnd at settle; ID = the global
+	// request id, Arg = file id, the end's Note = the outcome). Emitted
+	// only when a latency recorder is attached, so plain traced runs are
+	// unchanged.
+	EvRequest = "request"
+	// EvForwardServe: the service-node side of a forwarded request as an
+	// async span under the same ID — together with EvRequest this renders
+	// a per-request flame across nodes in Perfetto.
+	EvForwardServe = "forward-serve"
+
+	// EvOutQ / EvPeerQ: send-path queue depths as counter samples
+	// (Ph = PhCounter, Arg = depth after the change). EvOutQ is the
+	// kernel-buffer engine's single FIFO; EvPeerQ the credit engine's
+	// total deferred backlog across peers.
+	EvOutQ  = "outq-depth"
+	EvPeerQ = "peerq-depth"
+)
+
+// Phase values for Event.Ph, a subset of the Chrome trace_event phases.
+// The zero value is the thread-scoped instant every pre-existing emitter
+// uses, so extending Event with Ph changed no existing trace output.
+const (
+	// PhInstant is the default: a thread-scoped instant ("i").
+	PhInstant byte = 0
+	// PhBegin / PhEnd delimit an async duration span ("b"/"e"); events
+	// with the same ID pair up into one span, possibly across nodes.
+	PhBegin byte = 'b'
+	PhEnd   byte = 'e'
+	// PhCounter samples a numeric series ("C"); Arg carries the value
+	// (including zero — a queue draining to empty is a real sample).
+	PhCounter byte = 'C'
 )
 
 // NoNode marks events that are not scoped to one cluster node (kernel
@@ -120,6 +153,13 @@ type Event struct {
 	// Note is optional free text: error strings, membership views,
 	// fault names. Emitters only build it when tracing is enabled.
 	Note string
+	// Ph is the event phase (PhInstant, PhBegin, PhEnd, PhCounter). The
+	// zero value is the instant phase, so emitters that predate spans
+	// and counters need no change.
+	Ph byte
+	// ID correlates PhBegin/PhEnd pairs into one async span (the global
+	// request id). Ignored for other phases.
+	ID uint64
 }
 
 // Sink receives events in emission order. The simulation is

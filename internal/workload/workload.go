@@ -6,6 +6,7 @@ import (
 
 	"vivo/internal/metrics"
 	"vivo/internal/sim"
+	"vivo/internal/trace"
 )
 
 // TraceConfig describes the synthetic document set.
@@ -90,15 +91,24 @@ const (
 // Request is one in-flight client request. The backend calls Complete when
 // the full response has been sent.
 type Request struct {
+	// ID is the global request id (1-based issue order). The PRESS
+	// forward path carries it intra-cluster so trace duration spans can
+	// stitch a per-request flame across nodes.
+	ID   uint64
 	File int
 	// Node is the initial node chosen by round-robin DNS.
 	Node int
 
 	clients   *Clients
+	birth     sim.Time
 	settled   bool
 	succeeded bool
 	timer     *sim.Event
 }
+
+// Birth returns the virtual time the client issued the request — the
+// start of its end-to-end latency measurement.
+func (r *Request) Birth() sim.Time { return r.birth }
 
 // Complete marks the request successfully served. Calls after the client
 // timed out (or duplicate calls) are ignored — the client is gone.
@@ -111,7 +121,7 @@ func (r *Request) Complete() {
 	if r.timer != nil {
 		r.timer.Cancel()
 	}
-	r.clients.settle(metrics.Served)
+	r.clients.settle(r, metrics.Served)
 }
 
 // Fail marks the request failed with the given outcome (used by the
@@ -124,7 +134,7 @@ func (r *Request) Fail(o metrics.Outcome) {
 	if r.timer != nil {
 		r.timer.Cancel()
 	}
-	r.clients.settle(o)
+	r.clients.settle(r, o)
 }
 
 // Settled reports whether an outcome was recorded for this request.
@@ -191,10 +201,25 @@ func (c *Clients) Issued() int64 { return c.issued }
 // value means a request was admitted but never resolved — a lost request.
 func (c *Clients) Unsettled() int64 { return c.issued - c.settled }
 
-// settle records one outcome and counts the settlement.
-func (c *Clients) settle(o metrics.Outcome) {
+// settle records r's outcome, counts the settlement, and — when a latency
+// recorder is attached — files the end-to-end latency and closes r's
+// trace span. Latency recording draws no randomness and schedules
+// nothing, so runs without a recorder are untouched.
+func (c *Clients) settle(r *Request, o metrics.Outcome) {
 	c.settled++
 	c.rec.Record(o)
+	if c.rec.Latency() == nil {
+		return
+	}
+	now := c.k.Now()
+	c.rec.RecordLatency(now-r.birth, o)
+	if trc := c.k.Tracer(); trc.Enabled() {
+		trc.Emit(trace.Event{
+			TS: now, Cat: trace.Request, Name: trace.EvRequest,
+			Node: r.Node, Peer: trace.NoNode,
+			Ph: trace.PhEnd, ID: r.ID, Note: o.String(),
+		})
+	}
 }
 
 // NewClients builds the load generator (trace may be a synthetic Zipf
@@ -237,22 +262,31 @@ func (c *Clients) issue() {
 	node := c.rr % c.cfg.Nodes
 	c.rr++
 	c.issued++
-	r := &Request{File: c.trace.Next(), Node: node, clients: c}
+	r := &Request{ID: uint64(c.issued), File: c.trace.Next(), Node: node, clients: c, birth: c.k.Now()}
+	if c.rec.Latency() != nil {
+		if trc := c.k.Tracer(); trc.Enabled() {
+			trc.Emit(trace.Event{
+				TS: r.birth, Cat: trace.Request, Name: trace.EvRequest,
+				Node: r.Node, Peer: trace.NoNode, Arg: int64(r.File),
+				Ph: trace.PhBegin, ID: r.ID,
+			})
+		}
+	}
 	switch c.backend.Submit(r) {
 	case Accepted:
 		r.timer = c.k.After(c.cfg.RequestTimeout, func() {
 			if !r.settled {
 				r.settled = true
-				c.settle(metrics.RequestTimeout)
+				c.settle(r, metrics.RequestTimeout)
 			}
 		})
 	case Refused:
 		r.settled = true
-		c.settle(metrics.Refused)
+		c.settle(r, metrics.Refused)
 	case Unreachable:
 		r.settled = true
 		c.k.After(c.cfg.ConnectTimeout, func() {
-			c.settle(metrics.ConnectTimeout)
+			c.settle(r, metrics.ConnectTimeout)
 		})
 	}
 }
