@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify vet race race-full race-fast golden trace-smoke lat-smoke chaos-smoke ci bench-campaign
+.PHONY: all build test verify vet race race-full race-fast golden trace-smoke lat-smoke slo-smoke chaos-smoke ci bench-campaign
 
 all: verify
 
@@ -84,6 +84,24 @@ lat-smoke:
 	grep -qF '$(LAT_SMOKE_GOLDEN)' $(LAT_SMOKE_DIR)/a.txt
 	rm -rf $(LAT_SMOKE_DIR)
 
+# SLO smoke test: one short SLO-measured fault run, twice. Checks
+# (1) determinism — both runs byte-identical; (2) a pinned golden
+# fault-window line for seed 1, the SLO analogue of LAT_SMOKE_GOLDEN.
+# If a change intentionally shifts the numbers, update SLO_SMOKE_GOLDEN
+# from the new output of the first faultinject command below.
+SLO_SMOKE_DIR = /tmp/vivo-slo-smoke
+SLO_SMOKE_FLAGS = -version TCP-PRESS-HB -fault node-crash \
+	-stabilize 5s -fault-duration 10s -observe 10s -load 0.1 -slo 1s
+SLO_SMOKE_GOLDEN = fault win:  frac=0.6780 under=2845 served=2845 failed=1351
+slo-smoke:
+	rm -rf $(SLO_SMOKE_DIR) && mkdir -p $(SLO_SMOKE_DIR)
+	$(GO) run ./cmd/faultinject $(SLO_SMOKE_FLAGS) > $(SLO_SMOKE_DIR)/a.txt
+	$(GO) run ./cmd/faultinject $(SLO_SMOKE_FLAGS) > $(SLO_SMOKE_DIR)/b.txt
+	cmp $(SLO_SMOKE_DIR)/a.txt $(SLO_SMOKE_DIR)/b.txt
+	grep -q 'folded A_slo:' $(SLO_SMOKE_DIR)/a.txt
+	grep -qF '$(SLO_SMOKE_GOLDEN)' $(SLO_SMOKE_DIR)/a.txt
+	rm -rf $(SLO_SMOKE_DIR)
+
 # Chaos smoke test, both directions:
 #   1. a short seeded campaign under the real oracle suite comes back all
 #      green, and the repro/replay machinery is proven live by
@@ -108,7 +126,7 @@ chaos-smoke:
 	! $(GO) run ./cmd/chaos -replay $(CHAOS_SMOKE_DIR)/a/repro_run00.json
 	rm -rf $(CHAOS_SMOKE_DIR)
 
-ci: vet verify race golden trace-smoke lat-smoke chaos-smoke
+ci: vet verify race golden trace-smoke lat-smoke slo-smoke chaos-smoke
 
 # Serial vs parallel full-campaign wall clock (see EXPERIMENTS.md,
 # "Runtime"). Each iteration is a complete 60-run campaign.

@@ -9,18 +9,24 @@ package vivo_test
 
 import (
 	"encoding/json"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"slices"
+	"strings"
 	"testing"
 )
 
 const (
-	pkgPress     = "vivo/internal/press"
-	pkgSubstrate = "vivo/internal/substrate"
-	pkgTCPSim    = "vivo/internal/tcpsim"
-	pkgVIASim    = "vivo/internal/viasim"
-	pkgTCPAdapt  = "vivo/internal/substrate/tcp"
-	pkgVIAAdapt  = "vivo/internal/substrate/via"
+	pkgPress       = "vivo/internal/press"
+	pkgSubstrate   = "vivo/internal/substrate"
+	pkgTCPSim      = "vivo/internal/tcpsim"
+	pkgVIASim      = "vivo/internal/viasim"
+	pkgTCPAdapt    = "vivo/internal/substrate/tcp"
+	pkgVIAAdapt    = "vivo/internal/substrate/via"
+	pkgObs         = "vivo/internal/obs"
+	pkgExperiments = "vivo/internal/experiments"
+	pkgChaos       = "vivo/internal/chaos"
 )
 
 // imports returns the package's direct imports, including those of its
@@ -76,5 +82,69 @@ func TestAdaptersOwnTheirSimulators(t *testing.T) {
 	}
 	if deps := imports(t, pkgVIAAdapt); !slices.Contains(deps, pkgVIASim) {
 		t.Errorf("%s no longer imports %s", pkgVIAAdapt, pkgVIASim)
+	}
+}
+
+// goFiles returns the package's non-test Go source paths.
+func goFiles(t *testing.T, pkg string) []string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-json", pkg).Output()
+	if err != nil {
+		t.Fatalf("go list %s: %v", pkg, err)
+	}
+	var info struct {
+		Dir     string
+		GoFiles []string
+	}
+	if err := json.Unmarshal(out, &info); err != nil {
+		t.Fatalf("decode go list output: %v", err)
+	}
+	paths := make([]string, len(info.GoFiles))
+	for i, f := range info.GoFiles {
+		paths[i] = filepath.Join(info.Dir, f)
+	}
+	return paths
+}
+
+// Architecture-boundary test for the observation seam. Only the
+// observation pipeline (internal/obs) may assemble instrumentation onto
+// a running cluster; the layers above it — experiments and chaos — are
+// thin configurations of obs.Harness and must neither reach the
+// substrate implementations nor construct recorders/tracers themselves.
+func TestRunLayersGoThroughObservationPipeline(t *testing.T) {
+	for _, pkg := range []string{pkgExperiments, pkgChaos} {
+		deps := imports(t, pkg)
+		for _, banned := range []string{pkgTCPSim, pkgVIASim} {
+			if slices.Contains(deps, banned) {
+				t.Errorf("%s imports %s; run layers must stay substrate-agnostic",
+					pkg, banned)
+			}
+		}
+		if !slices.Contains(deps, pkgObs) {
+			t.Errorf("%s does not import %s — the observation seam has moved; update this test's model of the architecture",
+				pkg, pkgObs)
+		}
+	}
+}
+
+// Non-test sources of the run layers must not assemble instrumentation
+// by hand: recorder and tracer construction belongs to obs.Harness and
+// its probes, so every run is observed the same way. (Test files may
+// still construct recorders to probe components in isolation.)
+func TestRunLayersDoNotAssembleInstrumentation(t *testing.T) {
+	banned := []string{"metrics.NewRecorder(", "SetTracer(", "latency.NewRecorder("}
+	for _, pkg := range []string{pkgExperiments, pkgChaos} {
+		for _, path := range goFiles(t, pkg) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read %s: %v", path, err)
+			}
+			for _, call := range banned {
+				if strings.Contains(string(src), call) {
+					t.Errorf("%s calls %s directly; attach an obs probe instead",
+						path, call)
+				}
+			}
+		}
 	}
 }

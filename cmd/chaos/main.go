@@ -133,18 +133,14 @@ func replayArtifact(path, tracePath string) {
 	var sink trace.Sink
 	var finish func()
 	if tracePath != "" {
-		f, err := os.Create(tracePath)
+		fs, err := trace.CreateFile(tracePath)
 		if err != nil {
-			log.Fatalf("create trace file: %v", err)
+			log.Fatalf("%v", err)
 		}
-		w := trace.NewJSON(f)
-		sink = w
+		sink = fs
 		finish = func() {
-			if err := w.Close(); err != nil {
+			if err := fs.Close(); err != nil {
 				log.Fatalf("write trace file: %v", err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatalf("close trace file: %v", err)
 			}
 		}
 	}

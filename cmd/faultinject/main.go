@@ -11,13 +11,16 @@
 // flags (-stabilize, -fault-duration, -observe, -load) shorten or
 // lengthen the run; short windows keep trace files small. -latency adds
 // end-to-end request latency: the per-stage quantile profile after the
-// stage table (and per-request duration spans in the trace).
+// stage table (and per-request duration spans in the trace). -slo
+// measures the per-stage fraction of requests answered within a latency
+// target and folds it into the long-run SLO availability; -hops
+// decomposes latency per hop (accept-queue, forward, serve).
 //
 // Usage:
 //
 //	faultinject [-version TCP-PRESS] [-fault link-down|all] [-full] [-seed 1]
 //	            [-parallel N] [-stabilize 30s] [-fault-duration 60s] [-observe 120s]
-//	            [-load 0.5] [-latency] [-trace out.trace.json] [-csv]
+//	            [-load 0.5] [-latency] [-slo 1s] [-hops] [-trace out.trace.json] [-csv]
 package main
 
 import (
@@ -27,8 +30,8 @@ import (
 	"os"
 
 	"vivo/internal/cli"
+	"vivo/internal/core"
 	"vivo/internal/experiments"
-	"vivo/internal/trace"
 )
 
 func main() {
@@ -54,6 +57,10 @@ func main() {
 			if fr.Latency != nil {
 				fmt.Printf("  latency: %s\n", fr.Latency.TotalQuantiles())
 			}
+			if fr.SLO != nil {
+				fmt.Printf("  slo %v: fault-win frac=%.5f, folded A_slo=%.7f\n",
+					fr.SLO.Target, fr.SLO.Fault.Fraction(), experiments.SLOFold(fr, opt))
+			}
 		}
 		if opt.TraceDir != "" {
 			fmt.Printf("traces written to %s/\n", opt.TraceDir)
@@ -65,18 +72,9 @@ func main() {
 
 	var fr experiments.FaultRun
 	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			log.Fatalf("create trace file: %v", err)
-		}
-		w := trace.NewJSON(f)
-		fr = experiments.RunFaultTrace(version, fault, opt, w)
-		if err := w.Close(); err != nil {
-			log.Fatalf("write trace file: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("close trace file: %v", err)
-		}
+		fs, finish := cli.MustTraceFile(*tracePath)
+		fr = experiments.RunFaultTrace(version, fault, opt, fs)
+		finish()
 	} else {
 		fr = experiments.RunFault(version, fault, opt)
 	}
@@ -100,6 +98,15 @@ func main() {
 		at, worst := fr.Latency.Timeline().WorstP99(10)
 		fmt.Printf("  worst per-second p99: %.1fms at %.0fs\n",
 			float64(worst.Microseconds())/1e3, at.Seconds())
+	}
+	if fr.SLO != nil {
+		fmt.Printf("\nSLO performability (target %v):\n", fr.SLO.Target)
+		fmt.Print(fr.SLO.String())
+		fmt.Printf("  folded A_slo: %.7f\n", experiments.SLOFold(fr, opt))
+	}
+	if fr.Hops != nil {
+		fmt.Printf("\nPer-hop latency (accept-queue / forward / serve):\n")
+		fmt.Print(core.RenderHopProfiles(fr.Hops))
 	}
 	if *tracePath != "" {
 		fmt.Printf("trace written to %s\n", *tracePath)

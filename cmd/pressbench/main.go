@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	pressbench [-full] [-seed 1] [-parallel N] [-latency] [-only table1,fig2,...]
+//	pressbench [-full] [-seed 1] [-parallel N] [-latency] [-slo 1s] [-only table1,fig2,...]
 //
 // The campaign's 60 runs (5 versions × 11 faults + 5 baselines) are
 // independent simulations and fan out across -parallel workers (default:
@@ -21,12 +21,16 @@
 // every other section record latency too) prints the latency-
 // performability table: per-request quantiles before/during the fault
 // for every version, the tail-latency view Table 2's throughput numbers
-// hide.
+// hide. The "slo" section prints the SLO-performability table: the
+// per-stage fraction of requests answered within the -slo target
+// (default 1s) folded with the Table-3 rates.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -35,17 +39,40 @@ import (
 	"vivo/internal/press"
 )
 
+// sections are the valid -only names, in presentation order.
+var sections = []string{
+	"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+	"fig9", "fig10", "latency", "slo", "crossover", "extension", "sweep",
+	"scaling", "multifault",
+}
+
 func main() {
 	ef := cli.NewExperimentFlags()
-	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,latency,crossover,extension,sweep,scaling,multifault")
+	only := flag.String("only", "", "comma-separated subset: "+strings.Join(sections, ","))
 	flag.Parse()
 
 	opt := ef.Options()
 
+	known := map[string]bool{}
+	for _, s := range sections {
+		known[s] = true
+	}
 	want := map[string]bool{}
 	if *only != "" {
+		var bad []string
 		for _, part := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(part)] = true
+			name := strings.TrimSpace(part)
+			if !known[name] {
+				bad = append(bad, name)
+				continue
+			}
+			want[name] = true
+		}
+		if len(bad) > 0 {
+			sort.Strings(bad)
+			fmt.Fprintf(os.Stderr, "pressbench: unknown -only section(s) %s (valid: %s)\n",
+				strings.Join(bad, ", "), strings.Join(sections, ", "))
+			os.Exit(2)
 		}
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
@@ -84,6 +111,15 @@ func main() {
 			fmt.Printf("\n%s under %s: %s\n", fr.Version, fr.Fault, fr.Latency.TotalQuantiles())
 			fmt.Print(fr.StageLat.String())
 		}
+	}
+
+	if sel("slo") {
+		sloOpt := opt
+		if sloOpt.SLO <= 0 {
+			sloOpt.SLO = experiments.DefaultSLO
+		}
+		section(fmt.Sprintf("SLO performability (latency target %v)", sloOpt.SLO))
+		fmt.Print(experiments.RenderSLOTable(experiments.SLOTable(sloOpt)))
 	}
 
 	needCampaign := false

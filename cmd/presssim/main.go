@@ -5,22 +5,19 @@
 // Usage:
 //
 //	presssim [-version VIA-PRESS-5] [-rate 6000] [-duration 60s] [-seed 1]
-//	         [-log access.log] [-latency] [-trace run.trace.json] [-v]
+//	         [-log access.log] [-latency] [-slo 1s] [-trace run.trace.json] [-v]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
 	"time"
 
 	"vivo/internal/cli"
-	"vivo/internal/latency"
-	"vivo/internal/metrics"
+	"vivo/internal/obs"
 	"vivo/internal/press"
-	"vivo/internal/sim"
 	"vivo/internal/workload"
 )
 
@@ -32,14 +29,15 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-second timeline")
 	logPath := flag.String("log", "", "replay a Common Log Format access log instead of the synthetic Zipf trace")
 	lat := cli.LatencyFlag()
+	slo := cli.SLOFlag()
 	tracePath := cli.TraceFlag("this file")
 	flag.Parse()
 
 	v := cli.MustVersion(*versionName)
-
-	k := sim.New(*seed)
-	finishTrace := cli.StartTrace(k, *tracePath)
 	cfg := press.DefaultConfig(v)
+
+	// nil selects the harness's deterministic Zipf trace over cfg's
+	// working set.
 	var sampler workload.Sampler
 	if *logPath != "" {
 		f, err := os.Open(*logPath)
@@ -55,42 +53,57 @@ func main() {
 		fmt.Printf("replaying %d requests over %d distinct documents from %s\n",
 			lt.Len(), lt.Config().Files, *logPath)
 		sampler = lt
-	} else {
-		sampler = workload.NewTrace(workload.TraceConfig{
-			Files:    cfg.WorkingSetFiles,
-			FileSize: int(cfg.FileSize),
-			ZipfS:    1.2,
-		}, rand.New(rand.NewSource(*seed+1)))
 	}
-	rec := metrics.NewRecorder(k, time.Second)
-	if *lat {
-		rec.SetLatency(latency.NewRecorder(k, time.Second))
+
+	h := obs.Harness{
+		Seed:    *seed,
+		Config:  cfg,
+		Rate:    *rate,
+		Sampler: sampler,
+		LoadFor: *duration,
 	}
-	d := press.NewDeployment(k, cfg)
-	d.Start()
-	d.WarmStart()
-	cl := workload.NewClients(k, workload.DefaultClients(*rate, cfg.Nodes), sampler, d, rec)
-	cl.Start()
+	finishTrace := func() {}
+	if *tracePath != "" {
+		fs, finish := cli.MustTraceFile(*tracePath)
+		h.Sink = fs
+		finishTrace = finish
+	}
+	var probes []obs.Probe
+	var lp *obs.Latency
+	if *lat || *slo > 0 {
+		lp = &obs.Latency{}
+		probes = append(probes, lp)
+	}
 
 	start := time.Now()
-	k.Run(*duration)
+	run, err := h.Run(probes...)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
 	wall := time.Since(start)
 	finishTrace()
 
-	served, failed := rec.Totals()
-	fmt.Printf("%s: %v simulated in %v wall (%d events)\n", v, *duration, wall.Round(time.Millisecond), k.Steps())
+	served, failed := run.Rec.Totals()
+	fmt.Printf("%s: %v simulated in %v wall (%d events)\n", v, *duration, wall.Round(time.Millisecond), run.K.Steps())
 	fmt.Printf("offered %.0f req/s, served %d, failed %d, availability %.4f\n",
-		*rate, served, failed, rec.Availability())
+		*rate, served, failed, run.Rec.Availability())
 	fmt.Printf("mean throughput %.0f req/s (paper Table 1 capacity: %.0f)\n",
-		rec.Timeline().MeanThroughput(10*time.Second, *duration), press.Table1Throughput(v))
+		run.Rec.Timeline().MeanThroughput(10*time.Second, *duration), press.Table1Throughput(v))
 	if *verbose {
-		fmt.Fprint(os.Stdout, rec.Timeline().String())
+		fmt.Fprint(os.Stdout, run.Rec.Timeline().String())
 	}
-	if lr := rec.Latency(); lr != nil {
+	if lp != nil {
+		lr := lp.Rec
 		fmt.Printf("latency: %s\n", lr.TotalQuantiles())
 		if *verbose {
 			fmt.Print(lr.Timeline().String())
 		}
 		fmt.Print(lr.Total().Dump())
+		if *slo > 0 {
+			c := lr.TotalUnder(*slo)
+			at, worst := lr.WorstWindowUnder(*slo, 10)
+			fmt.Printf("slo %v: frac=%.5f (under=%d served=%d failed=%d), worst 1s window %.5f at %.0fs\n",
+				*slo, c.Fraction(), c.Under, c.Served, c.Failed, worst, at.Seconds())
+		}
 	}
 }

@@ -162,20 +162,15 @@ func runTraced(v press.Version, p Params, seed int64, sched Schedule, dir, name 
 	if dir == "" {
 		return runOne(v, p, seed, sched, nil)
 	}
-	f, err := os.Create(filepath.Join(dir, name+".trace.json"))
-	if err != nil {
-		return nil, fmt.Errorf("chaos: create trace file: %v", err)
-	}
-	defer f.Close()
-	w := trace.NewJSON(f)
-	obs, err := runOne(v, p, seed, sched, w)
+	fs, err := trace.CreateFile(filepath.Join(dir, name+".trace.json"))
 	if err != nil {
 		return nil, err
 	}
-	if err := w.Close(); err != nil {
-		return nil, fmt.Errorf("chaos: write trace file: %v", err)
+	obs, err := runOne(v, p, seed, sched, fs)
+	if cerr := fs.Close(); err == nil && cerr != nil {
+		return nil, fmt.Errorf("chaos: write trace file: %v", cerr)
 	}
-	return obs, nil
+	return obs, err
 }
 
 // shrinkToRepro delta-debugs a failing schedule down to a minimal one

@@ -3,15 +3,12 @@ package chaos
 import (
 	"encoding/json"
 	"fmt"
-	"math/rand"
 	"time"
 
-	"vivo/internal/faults"
 	"vivo/internal/metrics"
+	"vivo/internal/obs"
 	"vivo/internal/press"
-	"vivo/internal/sim"
 	"vivo/internal/trace"
-	"vivo/internal/workload"
 )
 
 // recoveryTail is the window, ending when load stops, over which the
@@ -204,78 +201,53 @@ type Observation struct {
 	Inventory []press.NodeView
 }
 
-// teeSink fans one event stream out to two sinks.
-type teeSink struct{ a, b trace.Sink }
-
-func (t teeSink) Record(e trace.Event) {
-	t.a.Record(e)
-	t.b.Record(e)
-}
-
 // runOne executes one chaos run: warm deployment, steady load, the whole
-// schedule injected, then a drain so every client timer resolves. The
-// trace recorder always runs (the well-formedness oracle needs it); extra,
-// when non-nil, additionally receives every event (e.g. a JSON trace
-// file). An error means the schedule itself was invalid — no simulation
-// ran.
+// schedule injected, then a drain so every client timer resolves — an
+// obs.Harness configuration with the EventLog probe always attached (the
+// well-formedness oracle needs the full event stream). extra, when
+// non-nil, additionally receives every event (e.g. a JSON trace file).
+// An error means the schedule itself was invalid — no simulation ran.
 func runOne(v press.Version, p Params, seed int64, sched Schedule, extra trace.Sink) (*Observation, error) {
-	rec := trace.NewRecorder()
-	var sink trace.Sink = rec
-	if extra != nil {
-		sink = teeSink{a: rec, b: extra}
+	specs := make([]obs.FaultSpec, len(sched.Faults))
+	for i, f := range sched.Faults {
+		specs[i] = obs.FaultSpec{Type: f.Type, Target: f.Target, At: f.At, Dur: f.Dur}
 	}
-
-	k := sim.New(seed)
-	k.SetTracer(trace.New(sink))
-	cfg := quickConfig(v, p)
-	mrec := metrics.NewRecorder(k, time.Second)
-	d := press.NewDeployment(k, cfg)
-	d.Events = func(l string) { mrec.MarkNow(l) }
-	d.Start()
-	d.WarmStart()
-
-	tr := workload.NewTrace(workload.TraceConfig{
-		Files:    cfg.WorkingSetFiles,
-		FileSize: int(cfg.FileSize),
-		ZipfS:    1.2,
-	}, rand.New(rand.NewSource(seed+7)))
-	offered := p.LoadFraction * press.Table1Throughput(v)
-	cl := workload.NewClients(k, workload.DefaultClients(offered, cfg.Nodes), tr, d, mrec)
-	cl.Start()
-
-	inj := faults.NewInjector(k, d, mrec)
-	for _, f := range sched.Faults {
-		if err := inj.Schedule(f.Type, f.Target, f.At, f.Dur); err != nil {
-			return nil, fmt.Errorf("chaos: bad schedule entry %s: %v", f, err)
-		}
-	}
-
 	horizon := p.horizon()
-	k.Run(horizon)
-	cl.Stop()
-	k.Run(horizon + drain)
+	h := obs.Harness{
+		Seed:    seed,
+		Config:  quickConfig(v, p),
+		Rate:    p.LoadFraction * press.Table1Throughput(v),
+		Faults:  specs,
+		LoadFor: horizon,
+		Drain:   drain,
+		Sink:    extra,
+	}
+	events := &obs.EventLog{}
+	run, err := h.Run(events)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: bad schedule: %v", err)
+	}
 
-	tl := mrec.Timeline()
-	served, failed := mrec.Totals()
+	served, failed := run.Rec.Totals()
 	return &Observation{
 		Version:   v,
 		Seed:      seed,
 		Schedule:  sched,
 		P:         p,
 		Horizon:   horizon,
-		Issued:    cl.Issued(),
-		Unsettled: cl.Unsettled(),
+		Issued:    run.Clients.Issued(),
+		Unsettled: run.Clients.Unsettled(),
 		Served:    served,
 		Failed:    failed,
 		Outcomes: map[metrics.Outcome]int64{
-			metrics.Served:         mrec.OutcomeCount(metrics.Served),
-			metrics.ConnectTimeout: mrec.OutcomeCount(metrics.ConnectTimeout),
-			metrics.RequestTimeout: mrec.OutcomeCount(metrics.RequestTimeout),
-			metrics.Refused:        mrec.OutcomeCount(metrics.Refused),
+			metrics.Served:         run.Rec.OutcomeCount(metrics.Served),
+			metrics.ConnectTimeout: run.Rec.OutcomeCount(metrics.ConnectTimeout),
+			metrics.RequestTimeout: run.Rec.OutcomeCount(metrics.RequestTimeout),
+			metrics.Refused:        run.Rec.OutcomeCount(metrics.Refused),
 		},
-		Timeline:  tl,
-		Events:    rec,
-		Inventory: d.Inventory(),
+		Timeline:  run.Rec.Timeline(),
+		Events:    events.Events,
+		Inventory: run.Deployment.Inventory(),
 	}, nil
 }
 

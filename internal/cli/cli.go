@@ -10,14 +10,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"strings"
 	"time"
 
 	"vivo/internal/experiments"
 	"vivo/internal/faults"
 	"vivo/internal/press"
-	"vivo/internal/sim"
 	"vivo/internal/trace"
 )
 
@@ -81,6 +79,18 @@ func LatencyFlag() *bool {
 		"record end-to-end request latency (percentile timeline, histogram, per-stage profile); traced runs also gain per-request duration spans")
 }
 
+// SLOFlag registers the standard -slo flag.
+func SLOFlag() *time.Duration {
+	return flag.Duration("slo", 0,
+		"latency SLO target; measures the per-stage fraction of requests answered within it and the folded SLO availability (0 = off; implies latency recording)")
+}
+
+// HopsFlag registers the standard -hops flag.
+func HopsFlag() *bool {
+	return flag.Bool("hops", false,
+		"decompose request latency per hop (accept-queue, forward, serve) segmented by model stage (implies latency recording)")
+}
+
 // ExperimentFlags bundles the flags every experiment-running command
 // (cmd/faultinject, cmd/pressbench) shares, so the experiment protocol is
 // documented once — in these help strings, whose defaults are read from
@@ -95,6 +105,8 @@ type ExperimentFlags struct {
 	Observe   *time.Duration
 	Load      *float64
 	Latency   *bool
+	SLO       *time.Duration
+	Hops      *bool
 }
 
 // NewExperimentFlags registers the shared experiment flags. Call before
@@ -115,6 +127,8 @@ func NewExperimentFlags() *ExperimentFlags {
 			"offered load as a fraction of Table-1 capacity (0 = scale default: quick %.2f, full %.2f)",
 			q.LoadFraction, f.LoadFraction)),
 		Latency: LatencyFlag(),
+		SLO:     SLOFlag(),
+		Hops:    HopsFlag(),
 	}
 }
 
@@ -132,6 +146,8 @@ func (ef *ExperimentFlags) Options() experiments.Options {
 	opt.Seed = *ef.Seed
 	opt.Parallel = *ef.Parallel
 	opt.Latency = *ef.Latency
+	opt.SLO = *ef.SLO
+	opt.Hops = *ef.Hops
 	if *ef.Stabilize > 0 {
 		opt.Stabilize = *ef.Stabilize
 	}
@@ -154,25 +170,21 @@ func TraceFlag(what string) *string {
 		"write a deterministic Perfetto-loadable event trace of the run to "+what)
 }
 
-// StartTrace wires a Perfetto JSON trace of kernel k to path and returns
-// a finish function to call after the run. An empty path is a no-op.
-// Errors are fatal: a command asked to trace must trace.
-func StartTrace(k *sim.Kernel, path string) (finish func()) {
-	if path == "" {
-		return func() {}
-	}
-	f, err := os.Create(path)
+// MustTraceFile opens a Perfetto JSON trace file sink at path (which
+// must be non-empty) and returns it with a finish function that flushes
+// and closes it after the run. Errors are fatal: a command asked to
+// trace must trace. Callers wire the sink into an obs.Harness — guard
+// the empty-path case before calling, and never assign a nil *FileSink
+// into a Sink interface field (a typed nil would defeat the harness's
+// nil check).
+func MustTraceFile(path string) (*trace.FileSink, func()) {
+	fs, err := trace.CreateFile(path)
 	if err != nil {
-		log.Fatalf("create trace file: %v", err)
+		log.Fatalf("%v", err)
 	}
-	w := trace.NewJSON(f)
-	k.SetTracer(trace.New(w))
-	return func() {
-		if err := w.Close(); err != nil {
+	return fs, func() {
+		if err := fs.Close(); err != nil {
 			log.Fatalf("write trace file: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("close trace file: %v", err)
 		}
 	}
 }

@@ -49,6 +49,15 @@ type Measured struct {
 	DA, DB, DD         time.Duration
 	Splintered         bool
 	Tn                 float64
+
+	// SLO fields are filled only for runs extracted with a latency SLO
+	// threshold (ApplySLO / ExtractSLO): the threshold itself, the
+	// fraction of requests within it during the pre-fault baseline, and
+	// the per-stage fractions (failures count as violations). Zero-value
+	// fields mean no SLO was measured.
+	SLOTarget time.Duration
+	SLOPre    float64
+	SLOFrac   [NumStages]float64
 }
 
 // stabilityWindow is the number of consecutive bins that must agree for a
@@ -126,47 +135,52 @@ func extractBounds(obs RunObservation) bounds {
 	return b
 }
 
-// Extract measures the stage structure of one fault-injection run.
+// Extract measures the stage structure of one fault-injection run: the
+// throughput extractor over the shared StageWindows segmentation.
 func Extract(obs RunObservation) Measured {
 	tl := obs.Timeline
 	m := Measured{Splintered: obs.Splintered, Tn: obs.Tn}
-	b := extractBounds(obs)
+	w := StageWindows(obs)
 
 	if obs.Instantaneous {
 		// Point fault: the observable response is one degraded window
 		// from the fault to re-stabilisation. The model stretches it
 		// into stage C for the fault's MTTR (the production restart
 		// time), so T_C is the window's mean level.
-		m.TC = tl.MeanThroughput(obs.Injected, b.stable2)
-		if b.stable2 <= obs.Injected {
-			m.TC = b.tailLevel
+		c := w.Stage[StageC]
+		m.TC = tl.MeanThroughput(c.From, c.To)
+		if c.Empty() {
+			m.TC = w.TailLevel
 		}
 		m.TB = m.TC
 		m.TD = m.TC
-		m.TE = b.tailLevel
+		m.TE = w.TailLevel
 		return m
 	}
 
 	// Stage A: fault occurrence to detection.
-	m.DA = b.detect - obs.Injected
-	m.TA = tl.MeanThroughput(obs.Injected, b.detect)
-	if b.detect == obs.Injected {
+	a := w.Stage[StageA]
+	m.DA = a.To - a.From
+	m.TA = tl.MeanThroughput(a.From, a.To)
+	if a.To == a.From {
 		m.TA = 0
 	}
 
 	// Stage B: reconfiguration transient toward the degraded regime
 	// (only when there was a detection before repair).
-	if b.hasB {
-		m.DB = b.stable1 - b.detect
-		m.TB = tl.MeanThroughput(b.detect, b.stable1)
+	if w.HasB {
+		b := w.Stage[StageB]
+		m.DB = b.To - b.From
+		m.TB = tl.MeanThroughput(b.From, b.To)
 	}
 
 	// Stage C: stable degraded regime until repair. Without a
 	// detection there is no reconfiguration: the regime that persists
 	// through the repair time is stage A's.
+	c := w.Stage[StageC]
 	switch {
-	case b.stable1 < obs.Repaired:
-		m.TC = tl.MeanThroughput(b.stable1, obs.Repaired)
+	case c.From < c.To:
+		m.TC = tl.MeanThroughput(c.From, c.To)
 	case obs.HasDetect:
 		m.TC = m.TB
 	default:
@@ -174,12 +188,14 @@ func Extract(obs RunObservation) Measured {
 	}
 
 	// Stage D: transient from repair toward the final regime.
-	m.DD = b.stable2 - obs.Repaired
-	m.TD = tl.MeanThroughput(obs.Repaired, b.stable2)
+	d := w.Stage[StageD]
+	m.DD = d.To - d.From
+	m.TD = tl.MeanThroughput(d.From, d.To)
 
 	// Stage E: stable post-recovery regime.
-	m.TE = tl.MeanThroughput(b.stable2, obs.End)
-	if b.stable2 >= obs.End {
+	e := w.Stage[StageE]
+	m.TE = tl.MeanThroughput(e.From, e.To)
+	if e.Empty() {
 		m.TE = m.TD
 	}
 	return m

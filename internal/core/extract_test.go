@@ -203,6 +203,109 @@ func TestExtractInstantaneousFault(t *testing.T) {
 	}
 }
 
+func TestExtractInstantaneousFaultWithNoDegradedWindow(t *testing.T) {
+	// A point fault the timeline never shows: the run is already at the
+	// tail level at injection, so the stableToward scan converges
+	// immediately and the degraded window [Injected, stable2) is empty.
+	// TC must fall back to the tail level instead of averaging an empty
+	// window to zero.
+	tl := makeTimeline(100, func(int) int { return 1000 })
+	obs := RunObservation{
+		Timeline:      tl,
+		Injected:      30 * time.Second,
+		Repaired:      30 * time.Second,
+		Detected:      30 * time.Second,
+		HasDetect:     true,
+		Instantaneous: true,
+		Tn:            1000,
+		End:           100 * time.Second,
+	}
+	w := StageWindows(obs)
+	if !w.Stage[StageC].Empty() {
+		t.Fatalf("stage C = %+v, want empty (stable2 at injection)", w.Stage[StageC])
+	}
+	m := Extract(obs)
+	if m.TC < 950 || m.TC > 1050 {
+		t.Fatalf("TC = %v, want the 1000 tail level", m.TC)
+	}
+	if m.TB != m.TC || m.TD != m.TC {
+		t.Fatalf("TB/TD = %v/%v, want TC %v", m.TB, m.TD, m.TC)
+	}
+	if m.TE < 950 {
+		t.Fatalf("TE = %v", m.TE)
+	}
+}
+
+func TestExtractNeverDetectedSplinteredRun(t *testing.T) {
+	// A link fault TCP-PRESS waits out, ending with the cluster
+	// partitioned: no detection ever happens, and the post-repair regime
+	// stays degraded (the splinter level) to the end of the run. The
+	// model must keep stage C at stage A's level and charge the operator
+	// stages at the degraded tail.
+	tl := makeTimeline(200, func(s int) int {
+		switch {
+		case s < 30:
+			return 1000
+		case s < 90:
+			return 0
+		default:
+			return 600 // splintered: partial service only
+		}
+	})
+	obs := RunObservation{
+		Timeline:   tl,
+		Injected:   30 * time.Second,
+		Repaired:   90 * time.Second,
+		Splintered: true,
+		Tn:         1000,
+		End:        200 * time.Second,
+	}
+	m := Extract(obs)
+	if !m.Splintered {
+		t.Fatal("Splintered not carried through")
+	}
+	if m.DA != 60*time.Second {
+		t.Fatalf("DA = %v, want the whole fault duration", m.DA)
+	}
+	if m.TC != m.TA {
+		t.Fatalf("TC = %v, want TA %v (never detected)", m.TC, m.TA)
+	}
+	if m.TE < 550 || m.TE > 650 {
+		t.Fatalf("TE = %v, want the splintered 600 level", m.TE)
+	}
+	sp := m.StageParams(Rates{MTTF: 182 * Day, MTTR: 3 * time.Minute}, DefaultEnvironment())
+	if sp.D[StageE] == 0 || sp.D[StageF] == 0 {
+		t.Fatal("splintered run must include the operator stages")
+	}
+	if sp.T[StageE] != m.TE {
+		t.Fatalf("T[E] = %v, want the measured tail %v", sp.T[StageE], m.TE)
+	}
+}
+
+func TestStageParamsTransientsCappedAtMTTR(t *testing.T) {
+	// Measured DA fits but DA+DB overruns the MTTR: B must be trimmed to
+	// the remainder and C must vanish, keeping A+B+C = MTTR exactly.
+	m := Measured{
+		TA: 0, TB: 500, TC: 700,
+		DA: 2 * time.Minute, DB: 5 * time.Minute,
+		Tn: 1000,
+	}
+	rates := Rates{MTTR: 3 * time.Minute}
+	sp := m.StageParams(rates, DefaultEnvironment())
+	if sp.D[StageA] != 2*time.Minute {
+		t.Fatalf("D[A] = %v", sp.D[StageA])
+	}
+	if sp.D[StageB] != time.Minute {
+		t.Fatalf("D[B] = %v, want trimmed to the MTTR remainder", sp.D[StageB])
+	}
+	if sp.D[StageC] != 0 {
+		t.Fatalf("D[C] = %v, want 0", sp.D[StageC])
+	}
+	if total := sp.D[StageA] + sp.D[StageB] + sp.D[StageC]; total != rates.MTTR {
+		t.Fatalf("A+B+C = %v, want MTTR %v", total, rates.MTTR)
+	}
+}
+
 func TestExtractUndetectedDegradedFaultKeepsLevel(t *testing.T) {
 	// A fault nobody detects that degrades (not kills) throughput — the
 	// VIA app-hang shape: the level must carry into stage C, because

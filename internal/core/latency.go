@@ -25,27 +25,19 @@ type StageLatencies struct {
 // quantiles (matches the Tn measurement window in experiments).
 const preWindow = 20 * time.Second
 
-// ExtractLatency segments rec's samples into the run's stage windows.
-// For instantaneous faults the whole observable response is one degraded
-// window (stage C), mirroring Extract.
+// ExtractLatency segments rec's samples into the run's stage windows:
+// the end-to-end latency extractor over the shared StageWindows
+// segmentation. For instantaneous faults the whole observable response
+// is one degraded window (stage C), mirroring Extract.
 func ExtractLatency(obs RunObservation, rec *latency.Recorder) StageLatencies {
-	b := extractBounds(obs)
+	w := StageWindows(obs)
 	var sl StageLatencies
-	from := obs.Injected - preWindow
-	if from < 0 {
-		from = 0
+	sl.Pre = rec.Window(w.Pre.From, w.Pre.To)
+	for s := StageA; s < NumStages; s++ {
+		if w.Valid[s] {
+			sl.Q[s] = rec.Window(w.Stage[s].From, w.Stage[s].To)
+		}
 	}
-	sl.Pre = rec.Window(from, obs.Injected)
-	if obs.Instantaneous {
-		sl.Q[StageC] = rec.Window(obs.Injected, b.stable2)
-		sl.Q[StageE] = rec.Window(b.stable2, obs.End)
-		return sl
-	}
-	sl.Q[StageA] = rec.Window(obs.Injected, b.detect)
-	sl.Q[StageB] = rec.Window(b.detect, b.stable1)
-	sl.Q[StageC] = rec.Window(b.stable1, obs.Repaired)
-	sl.Q[StageD] = rec.Window(obs.Repaired, b.stable2)
-	sl.Q[StageE] = rec.Window(b.stable2, obs.End)
 	return sl
 }
 
@@ -81,27 +73,9 @@ func (sl StageLatencies) String() string {
 // (e.g. figure renderers) can annotate timelines; ok is false for stages
 // that do not exist in this run.
 func StageWindow(obs RunObservation, s Stage) (from, to sim.Time, ok bool) {
-	b := extractBounds(obs)
-	if obs.Instantaneous {
-		switch s {
-		case StageC:
-			return obs.Injected, b.stable2, true
-		case StageE:
-			return b.stable2, obs.End, true
-		}
+	w := StageWindows(obs)
+	if s < 0 || s >= NumStages || !w.Valid[s] {
 		return 0, 0, false
 	}
-	switch s {
-	case StageA:
-		return obs.Injected, b.detect, true
-	case StageB:
-		return b.detect, b.stable1, true
-	case StageC:
-		return b.stable1, obs.Repaired, true
-	case StageD:
-		return obs.Repaired, b.stable2, true
-	case StageE:
-		return b.stable2, obs.End, true
-	}
-	return 0, 0, false
+	return w.Stage[s].From, w.Stage[s].To, true
 }

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"time"
+
+	"vivo/internal/sim"
+)
+
+// Span is one half-open window [From, To) on a run's timeline.
+type Span struct {
+	From, To sim.Time
+}
+
+// Duration returns the span length (zero for empty or inverted spans).
+func (s Span) Duration() time.Duration {
+	if s.To <= s.From {
+		return 0
+	}
+	return s.To - s.From
+}
+
+// Empty reports whether the span covers no time.
+func (s Span) Empty() bool { return s.To <= s.From }
+
+// Windows is the shared stage-boundary computation: one pass over a
+// run's throughput timeline that locates every stage's time span. Every
+// per-metric extractor — throughput (Extract), end-to-end latency
+// (ExtractLatency), per-hop latency (StageHops), SLO fractions
+// (ExtractSLO) — reads the same Windows, so "stage C" names the same
+// span in every view of a run. That alignment is the contract: a new
+// metric segments over StageWindows instead of re-deriving boundaries.
+type Windows struct {
+	// Pre is the steady-state baseline window just before injection
+	// (preWindow long, clamped at the run start).
+	Pre Span
+
+	// Stage[s] is stage s's span; Valid[s] is false for stages that do
+	// not exist in this run (F and G always — they are synthesized from
+	// the environment, not observed — and everything but C and E for
+	// instantaneous faults). A valid span may still be empty: stage B of
+	// a run with no reconfiguration transient is a zero-length span at
+	// the detection instant.
+	Stage [NumStages]Span
+	Valid [NumStages]bool
+
+	// HasB reports whether a reconfiguration transient exists: the
+	// service detected the fault before the component was repaired.
+	HasB bool
+
+	// TailLevel is the throughput regime the run converged to over the
+	// final 30 s (normal, or splinter-degraded).
+	TailLevel float64
+
+	// Instantaneous mirrors the observation: the whole observable
+	// response is one degraded window (stage C) plus the tail (stage E).
+	Instantaneous bool
+}
+
+// StageWindows locates the stage boundaries of one run. The boundary
+// instants are exactly extractBounds': detection (= repair when never
+// detected), the end of the reconfiguration transient, and the end of
+// the recovery transient, both found with the stableToward scan.
+func StageWindows(obs RunObservation) Windows {
+	b := extractBounds(obs)
+	w := Windows{
+		TailLevel:     b.tailLevel,
+		HasB:          b.hasB,
+		Instantaneous: obs.Instantaneous,
+	}
+	preFrom := obs.Injected - preWindow
+	if preFrom < 0 {
+		preFrom = 0
+	}
+	w.Pre = Span{From: preFrom, To: obs.Injected}
+
+	if obs.Instantaneous {
+		w.Stage[StageC] = Span{From: obs.Injected, To: b.stable2}
+		w.Valid[StageC] = true
+		w.Stage[StageE] = Span{From: b.stable2, To: obs.End}
+		w.Valid[StageE] = true
+		return w
+	}
+	w.Stage[StageA] = Span{From: obs.Injected, To: b.detect}
+	w.Stage[StageB] = Span{From: b.detect, To: b.stable1}
+	w.Stage[StageC] = Span{From: b.stable1, To: obs.Repaired}
+	w.Stage[StageD] = Span{From: obs.Repaired, To: b.stable2}
+	w.Stage[StageE] = Span{From: b.stable2, To: obs.End}
+	for s := StageA; s <= StageE; s++ {
+		w.Valid[s] = true
+	}
+	return w
+}

@@ -2,15 +2,12 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 	"time"
 
 	"vivo/internal/faults"
-	"vivo/internal/metrics"
+	"vivo/internal/obs"
 	"vivo/internal/press"
-	"vivo/internal/sim"
-	"vivo/internal/workload"
 )
 
 // The phase-2 model assumes faults are not correlated and queue at the
@@ -54,27 +51,21 @@ type MultiFaultResult struct {
 }
 
 // lossRun runs one experiment (zero, one or two faults) and returns total
-// offered and served counts over the whole run.
-func lossRun(v press.Version, opt Options, inject func(in *faults.Injector)) (served, failed int64) {
-	seed := opt.Seed*555 + int64(v)
-	k := sim.New(seed)
-	cfg := opt.Config(v)
-	rec := metrics.NewRecorder(k, time.Second)
-	d := press.NewDeployment(k, cfg)
-	d.Start()
-	d.WarmStart()
-	tr := workload.NewTrace(workload.TraceConfig{
-		Files:    cfg.WorkingSetFiles,
-		FileSize: int(cfg.FileSize),
-		ZipfS:    1.2,
-	}, rand.New(rand.NewSource(seed+7)))
-	cl := workload.NewClients(k, workload.DefaultClients(opt.offered(v), cfg.Nodes), tr, d, rec)
-	cl.Start()
-	if inject != nil {
-		inject(faults.NewInjector(k, d, rec))
+// offered and served counts over the whole run — a bare obs.Harness
+// configuration with no probes: only the recorder's totals matter.
+func lossRun(v press.Version, opt Options, schedule []obs.FaultSpec) (served, failed int64) {
+	h := obs.Harness{
+		Seed:    opt.Seed*555 + int64(v),
+		Config:  opt.Config(v),
+		Rate:    opt.offered(v),
+		Faults:  schedule,
+		LoadFor: opt.end(),
 	}
-	k.Run(opt.end())
-	return rec.Totals()
+	run, err := h.Run()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return run.Rec.Totals()
 }
 
 // MultiFaultStudy measures superposition error for the given version.
@@ -89,21 +80,21 @@ func MultiFaultStudy(v press.Version, opt Options) []MultiFaultResult {
 	// B-only and overlapping runs.
 	runs := make([]counts, 1+3*len(scenarios))
 	ForEach(len(runs), opt.workers(), func(j int) {
-		var inject func(in *faults.Injector)
+		var schedule []obs.FaultSpec
 		if j > 0 {
 			sc := scenarios[(j-1)/3]
-			scheduleA := func(in *faults.Injector) { in.Schedule(sc.A, sc.NodeA, injectAt, opt.FaultDuration) }
-			scheduleB := func(in *faults.Injector) { in.Schedule(sc.B, sc.NodeB, injectAt+sc.Offset, opt.FaultDuration) }
+			specA := obs.FaultSpec{Type: sc.A, Target: sc.NodeA, At: injectAt, Dur: opt.FaultDuration}
+			specB := obs.FaultSpec{Type: sc.B, Target: sc.NodeB, At: injectAt + sc.Offset, Dur: opt.FaultDuration}
 			switch (j - 1) % 3 {
 			case 0:
-				inject = scheduleA
+				schedule = []obs.FaultSpec{specA}
 			case 1:
-				inject = scheduleB
+				schedule = []obs.FaultSpec{specB}
 			case 2:
-				inject = func(in *faults.Injector) { scheduleA(in); scheduleB(in) }
+				schedule = []obs.FaultSpec{specA, specB}
 			}
 		}
-		s, f := lossRun(v, opt, inject)
+		s, f := lossRun(v, opt, schedule)
 		runs[j] = counts{served: s, failed: f}
 	})
 	base := runs[0]

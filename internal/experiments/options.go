@@ -52,6 +52,20 @@ type Options struct {
 	// campaign memoization ignores it like the other side-effect fields.
 	Latency bool
 
+	// SLO, when positive, measures every run against a latency SLO
+	// threshold (implies latency recording): FaultRun.SLO is filled and
+	// Measured gains the per-stage fraction-of-requests-under-SLO that
+	// SLOAvailability folds. Unlike Latency, the threshold changes the
+	// extracted Measured, so campaign memoization keys on it.
+	SLO time.Duration
+
+	// Hops attaches the per-hop decomposition probe (implies latency
+	// recording — the hop correlation rides the per-request trace
+	// spans): FaultRun.Hops is filled with accept/forward/serve stage
+	// profiles. Results are bit-identical with the flag on or off, so
+	// memoization ignores it like Latency.
+	Hops bool
+
 	// TraceDir, when non-empty, makes every RunFault write a
 	// Perfetto-loadable event trace to
 	// TraceDir/<version>_<fault>.trace.json (see TracePath). It is a
@@ -80,6 +94,8 @@ func (o Options) memoKey() Options {
 	o.Parallel = 0
 	o.TraceDir = ""
 	o.Latency = false
+	o.Hops = false
+	// SLO stays: the threshold is baked into the cached Measured.
 	return o
 }
 

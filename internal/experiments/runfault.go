@@ -2,8 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
-	"os"
 	"path/filepath"
 	"strings"
 	"time"
@@ -12,10 +10,10 @@ import (
 	"vivo/internal/faults"
 	"vivo/internal/latency"
 	"vivo/internal/metrics"
+	"vivo/internal/obs"
 	"vivo/internal/press"
 	"vivo/internal/sim"
 	"vivo/internal/trace"
-	"vivo/internal/workload"
 )
 
 // TargetNode is the node every single-node fault is injected into. Node 3
@@ -39,6 +37,15 @@ type FaultRun struct {
 	// instants Measured uses.
 	Latency  *latency.Recorder
 	StageLat *core.StageLatencies
+
+	// SLO is filled only when Options.SLO is positive: the per-stage
+	// fraction-of-requests-under-SLO profile (the same fractions are
+	// folded into Measured via ApplySLO).
+	SLO *core.SLOProfile
+
+	// Hops is filled only when Options.Hops is set: accept / forward /
+	// serve hop profiles segmented over the same stage windows.
+	Hops []core.HopProfile
 }
 
 // RunFault performs one fault-injection experiment: warm cluster, steady
@@ -49,15 +56,13 @@ func RunFault(v press.Version, ft faults.Type, opt Options) FaultRun {
 	if opt.TraceDir == "" {
 		return RunFaultTrace(v, ft, opt, nil)
 	}
-	f, err := os.Create(TracePath(opt.TraceDir, v, ft))
+	fs, err := trace.CreateFile(TracePath(opt.TraceDir, v, ft))
 	if err != nil {
-		panic(fmt.Sprintf("experiments: cannot create trace file: %v", err))
+		panic(fmt.Sprintf("experiments: %v", err))
 	}
-	defer f.Close()
-	w := trace.NewJSON(f)
-	fr := RunFaultTrace(v, ft, opt, w)
-	if err := w.Close(); err != nil {
-		panic(fmt.Sprintf("experiments: cannot write trace file: %v", err))
+	fr := RunFaultTrace(v, ft, opt, fs)
+	if err := fs.Close(); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
 	}
 	return fr
 }
@@ -71,40 +76,46 @@ func TracePath(dir string, v press.Version, ft faults.Type) string {
 // tracing, as does RunFault with an empty TraceDir). The sink receives
 // the run's complete deterministic event stream; tests pass a
 // trace.Recorder or an in-memory trace.JSON here.
+//
+// The run itself is one obs.Harness configuration: the experiment layer
+// only decides the schedule (a single fault at TargetNode after the
+// stabilize period) and which probes ride along, then extracts stages
+// from the finished run.
 func RunFaultTrace(v press.Version, ft faults.Type, opt Options, sink trace.Sink) FaultRun {
 	seed := opt.Seed*1000 + int64(v)*100 + int64(ft)
-	k := sim.New(seed)
-	k.SetTracer(trace.New(sink))
 	cfg := opt.Config(v)
-	rec := metrics.NewRecorder(k, time.Second)
-	var lrec *latency.Recorder
-	if opt.Latency {
-		lrec = latency.NewRecorder(k, time.Second)
-		rec.SetLatency(lrec)
-	}
-	d := press.NewDeployment(k, cfg)
-	d.Events = func(l string) { rec.MarkNow(l) }
-	d.Start()
-	d.WarmStart()
-
-	tr := workload.NewTrace(workload.TraceConfig{
-		Files:    cfg.WorkingSetFiles,
-		FileSize: int(cfg.FileSize),
-		ZipfS:    1.2,
-	}, rand.New(rand.NewSource(seed+7)))
 	offered := opt.offered(v)
-	cl := workload.NewClients(k, workload.DefaultClients(offered, cfg.Nodes), tr, d, rec)
-	cl.Start()
-
-	inj := faults.NewInjector(k, d, rec)
 	injectAt := opt.Stabilize
-	inj.Schedule(ft, TargetNode, injectAt, opt.FaultDuration)
-
 	end := opt.end()
-	k.Run(end)
 
-	tl := rec.Timeline()
-	obs := core.RunObservation{
+	h := obs.Harness{
+		Seed:   seed,
+		Config: cfg,
+		Rate:   offered,
+		Faults: []obs.FaultSpec{
+			{Type: ft, Target: TargetNode, At: injectAt, Dur: opt.FaultDuration},
+		},
+		LoadFor: end,
+		Sink:    sink,
+	}
+	probes := []obs.Probe{&obs.Throughput{}}
+	var lat *obs.Latency
+	if opt.Latency || opt.SLO > 0 || opt.Hops {
+		lat = &obs.Latency{}
+		probes = append(probes, lat)
+	}
+	var hops *obs.Hops
+	if opt.Hops {
+		hops = &obs.Hops{}
+		probes = append(probes, hops)
+	}
+	run, err := h.Run(probes...)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+
+	tl := run.Rec.Timeline()
+	obsr := core.RunObservation{
 		Timeline:      tl,
 		Injected:      injectAt,
 		Tn:            tl.MeanThroughput(injectAt-20*time.Second, injectAt),
@@ -114,22 +125,22 @@ func RunFaultTrace(v press.Version, ft faults.Type, opt Options, sink trace.Sink
 
 	// Repair time: the injector's mark for duration faults; for
 	// instantaneous faults the repair is the (last) process restart.
-	if at, ok := repairedTime(rec, ft, injectAt); ok {
-		obs.Repaired = at
+	if at, ok := repairedTime(run.Rec, ft, injectAt); ok {
+		obsr.Repaired = at
 	} else {
-		obs.Repaired = injectAt + opt.FaultDuration
+		obsr.Repaired = injectAt + opt.FaultDuration
 	}
 
 	// Detection: the first service reaction after injection.
-	if at, ok := detectionTime(rec, injectAt); ok && at <= obs.Repaired {
-		obs.Detected = at
-		obs.HasDetect = true
+	if at, ok := detectionTime(run.Rec, injectAt); ok && at <= obsr.Repaired {
+		obsr.Detected = at
+		obsr.HasDetect = true
 	}
 
 	// Splintered: any live server that does not see the full membership.
 	for i := 0; i < cfg.Nodes; i++ {
-		if s := d.Server(i); s != nil && s.Alive() && len(s.Members()) < cfg.Nodes {
-			obs.Splintered = true
+		if s := run.Deployment.Server(i); s != nil && s.Alive() && len(s.Members()) < cfg.Nodes {
+			obsr.Splintered = true
 		}
 	}
 
@@ -137,14 +148,26 @@ func RunFaultTrace(v press.Version, ft faults.Type, opt Options, sink trace.Sink
 		Version:     v,
 		Fault:       ft,
 		Timeline:    tl,
-		Obs:         obs,
-		Measured:    core.Extract(obs),
+		Obs:         obsr,
+		Measured:    core.Extract(obsr),
 		OfferedLoad: offered,
 	}
-	if lrec != nil {
-		sl := core.ExtractLatency(obs, lrec)
-		fr.Latency = lrec
+	if lat != nil && opt.Latency {
+		sl := core.ExtractLatency(obsr, lat.Rec)
+		fr.Latency = lat.Rec
 		fr.StageLat = &sl
+	}
+	if lat != nil && opt.SLO > 0 {
+		p := core.ExtractSLO(obsr, lat.Rec, opt.SLO)
+		fr.SLO = &p
+		fr.Measured.ApplySLO(p)
+	}
+	if hops != nil {
+		fr.Hops = core.StageHops(obsr, []core.NamedHop{
+			{Name: "accept", Rec: hops.Accept},
+			{Name: "forward", Rec: hops.Forward},
+			{Name: "serve", Rec: hops.Serve},
+		})
 	}
 	return fr
 }

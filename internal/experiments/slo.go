@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vivo/internal/core"
+	"vivo/internal/faults"
+	"vivo/internal/press"
+)
+
+// This file is the SLO side of the campaign: the same (version, fault)
+// matrix as the latency table, but collapsed to one service-level
+// question — what fraction of requests came back within the latency
+// target — measured per stage and folded with the Table-3 fault rates
+// into an AA-style long-run number. It is the sharpest separator in the
+// study: a version that keeps its throughput through a fault can still
+// spend the whole detection window answering slower than the SLO, and
+// only this view charges it for that.
+
+// DefaultSLO is the latency target used when Options.SLO is unset: one
+// second, a conservative interactive-service budget (the paper's 6 s
+// TCP connection timeout blows it by design, sub-millisecond cache
+// hits meet it easily).
+const DefaultSLO = time.Second
+
+// SLORow is one (version, fault) cell of the SLO-performability table.
+type SLORow struct {
+	Version press.Version
+	Fault   faults.Type
+
+	// Profile is the per-stage SLO accounting of the run.
+	Profile core.SLOProfile
+
+	// Measured is the run's stage measurement with the SLO fractions
+	// applied (the input to the fold).
+	Measured core.Measured
+
+	// SLOAvail is the folded long-run fraction of requests answered
+	// within the target, given the fault class's Table-3 rates and
+	// component multiplicity — the AA analogue.
+	SLOAvail float64
+}
+
+// SLOFold folds one SLO-measured run with its fault class's Table-3
+// rates and component multiplicity into the long-run fraction of
+// requests answered within the target. Panics if the run was made
+// without Options.SLO.
+func SLOFold(fr FaultRun, opt Options) float64 {
+	cls := faultClassOf[fr.Fault]
+	count := core.ComponentCount(cls, opt.Config(fr.Version).Nodes)
+	return fr.Measured.SLOAvailability(baseLoad()[cls], opt.Env, count)
+}
+
+// SLOCell runs one fault experiment against the SLO threshold and folds
+// it into a table row. A non-positive opt.SLO selects DefaultSLO.
+func SLOCell(v press.Version, ft faults.Type, opt Options) SLORow {
+	if opt.SLO <= 0 {
+		opt.SLO = DefaultSLO
+	}
+	fr := RunFault(v, ft, opt)
+	return SLORow{
+		Version:  v,
+		Fault:    ft,
+		Profile:  *fr.SLO,
+		Measured: fr.Measured,
+		SLOAvail: SLOFold(fr, opt),
+	}
+}
+
+// SLOTable builds the SLO-performability matrix: every Table-1 version
+// against each fault class (LatencyFaults when none are given), fanning
+// the independent runs out like the campaign does. Rows are ordered
+// version-major, fault-minor, and are bit-identical at any
+// Options.Parallel.
+func SLOTable(opt Options, fts ...faults.Type) []SLORow {
+	if len(fts) == 0 {
+		fts = LatencyFaults
+	}
+	versions := press.Versions
+	rows := make([]SLORow, len(versions)*len(fts))
+	ForEach(len(rows), opt.workers(), func(i int) {
+		rows[i] = SLOCell(versions[i/len(fts)], fts[i%len(fts)], opt)
+	})
+	return rows
+}
+
+// RenderSLOTable formats the matrix, one line per (version, fault): the
+// pre-fault baseline fraction, the fraction over the whole component
+// fault window, the worst one-second window, the stable degraded
+// stage's fraction, and the folded long-run SLO availability.
+func RenderSLOTable(rows []SLORow) string {
+	var b strings.Builder
+	target := DefaultSLO
+	if len(rows) > 0 {
+		target = rows[0].Profile.Target
+	}
+	fmt.Fprintf(&b, "SLO performability (fraction of requests within %v)\n", target)
+	fmt.Fprintf(&b, "%-14s %-14s %8s | %9s %8s %8s | %10s\n",
+		"version", "fault", "pre",
+		"fault win", "worst 1s", "stage C", "A_slo")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-14s %8.5f | %9.5f %8.5f %8.5f | %10.7f\n",
+			r.Version, r.Fault,
+			r.Profile.Pre.Fraction(),
+			r.Profile.Fault.Fraction(),
+			r.Profile.Worst,
+			r.Profile.Frac[core.StageC],
+			r.SLOAvail)
+	}
+	return b.String()
+}

@@ -38,6 +38,17 @@ func NewRecorder(k *sim.Kernel, bin time.Duration) *Recorder {
 	return &Recorder{k: k, bin: bin}
 }
 
+// NewBinned returns a recorder with no kernel attached: samples are filed
+// with RecordAt against explicit timestamps. The observation probes use
+// this form — they derive sample times from trace events, not from a live
+// clock (Record panics on a kernel-free recorder).
+func NewBinned(bin time.Duration) *Recorder {
+	if bin <= 0 {
+		panic("latency: bin width must be positive")
+	}
+	return &Recorder{bin: bin}
+}
+
 // BinWidth returns the configured bin width.
 func (r *Recorder) BinWidth() time.Duration { return r.bin }
 
@@ -46,7 +57,14 @@ func (r *Recorder) BinWidth() time.Duration { return r.bin }
 // outcome lands in, like the throughput recorder). served=false counts a
 // failure instead of adding to the percentile population.
 func (r *Recorder) Record(d time.Duration, served bool) {
-	idx := int(r.k.Now() / r.bin)
+	r.RecordAt(r.k.Now(), d, served)
+}
+
+// RecordAt files one latency sample at an explicit virtual time — the
+// kernel-free form used by probes that attribute samples to the instant a
+// trace event carried rather than to "now".
+func (r *Recorder) RecordAt(at sim.Time, d time.Duration, served bool) {
+	idx := int(at / r.bin)
 	for len(r.hists) <= idx {
 		r.hists = append(r.hists, &Histogram{})
 		r.failed = append(r.failed, 0)

@@ -1,0 +1,105 @@
+package latency
+
+import (
+	"time"
+
+	"vivo/internal/sim"
+)
+
+// This file is the SLO side of the latency subsystem: counting how many
+// requests finished at or under a latency threshold. The counts feed
+// core's SLO performability extraction — the fraction-of-requests-under-
+// SLO per model stage — through the same windowing primitives the
+// percentile profiles use, so "stage C's SLO fraction" covers exactly the
+// same time span as "stage C's p99".
+
+// CountUnder returns how many served samples fell at or under d. The
+// resolution is one histogram bucket: the whole bucket containing d
+// counts as under, so the answer can overstate by at most the bucket's
+// relative width (~3%). Integer-only, so two histograms built from the
+// same multiset agree exactly.
+func (h *Histogram) CountUnder(d time.Duration) int64 {
+	us := d.Microseconds()
+	if us < 0 {
+		return 0
+	}
+	if us > maxValue {
+		us = maxValue
+	}
+	idx := bucketIndex(us)
+	var n int64
+	for i := 0; i <= idx; i++ {
+		n += h.counts[i]
+	}
+	return n
+}
+
+// SLOCount is one window's request accounting against a threshold.
+type SLOCount struct {
+	Under  int64 // served requests at or under the threshold
+	Served int64
+	Failed int64
+}
+
+// Total is the number of requests that settled in the window.
+func (c SLOCount) Total() int64 { return c.Served + c.Failed }
+
+// Fraction is Under / (Served + Failed). Failed requests violate the SLO
+// by definition — the client saw a timeout or a refusal, strictly worse
+// than a slow answer. An empty window reports 1.0: no request settled, so
+// none violated (the caller weighs windows by duration or count, so an
+// empty window never dominates a result).
+func (c SLOCount) Fraction() float64 {
+	if c.Total() == 0 {
+		return 1
+	}
+	return float64(c.Under) / float64(c.Total())
+}
+
+// WindowUnder counts the bins whose start lies in [from, to) against the
+// threshold — the SLO companion of Window.
+func (r *Recorder) WindowUnder(from, to sim.Time, slo time.Duration) SLOCount {
+	var h Histogram
+	var c SLOCount
+	for i := range r.hists {
+		at := time.Duration(i) * r.bin
+		if at >= from && at < to {
+			h.Merge(r.hists[i])
+			c.Failed += r.failed[i]
+		}
+	}
+	c.Served = h.Count()
+	c.Under = h.CountUnder(slo)
+	return c
+}
+
+// TotalUnder counts the whole run against the threshold.
+func (r *Recorder) TotalUnder(slo time.Duration) SLOCount {
+	return SLOCount{
+		Under:  r.total.CountUnder(slo),
+		Served: r.total.Count(),
+		Failed: r.totalFailed,
+	}
+}
+
+// WorstWindowUnder scans the per-bin fractions and returns the worst
+// (lowest) one with its bin start — the SLO analogue of WorstP99. Bins
+// with fewer than minTotal settled requests are skipped as noise. When no
+// bin qualifies the fraction is 1 at time 0.
+func (r *Recorder) WorstWindowUnder(slo time.Duration, minTotal int64) (at sim.Time, frac float64) {
+	frac = 1
+	for i := range r.hists {
+		c := SLOCount{
+			Under:  r.hists[i].CountUnder(slo),
+			Served: r.hists[i].Count(),
+			Failed: r.failed[i],
+		}
+		if c.Total() < minTotal {
+			continue
+		}
+		if f := c.Fraction(); f < frac {
+			at, frac = time.Duration(i)*r.bin, f
+		}
+	}
+	return at, frac
+}

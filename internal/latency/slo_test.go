@@ -1,0 +1,118 @@
+package latency
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCountUnder(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{
+		100 * time.Microsecond,
+		time.Millisecond,
+		10 * time.Millisecond,
+		time.Second,
+		5 * time.Second,
+	} {
+		h.Observe(d)
+	}
+	cases := []struct {
+		slo  time.Duration
+		want int64
+	}{
+		{0, 0},
+		{50 * time.Microsecond, 0},
+		{100 * time.Microsecond, 1},
+		{time.Millisecond, 2},
+		{100 * time.Millisecond, 3},
+		{time.Second, 4},
+		{time.Hour, 5}, // beyond maxValue: clamps, everything counts
+	}
+	for _, c := range cases {
+		if got := h.CountUnder(c.slo); got != c.want {
+			t.Errorf("CountUnder(%v) = %d, want %d", c.slo, got, c.want)
+		}
+	}
+	if h.CountUnder(-time.Second) != 0 {
+		t.Error("negative threshold must count nothing")
+	}
+}
+
+func TestCountUnderIsMonotonic(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 7 * time.Millisecond)
+	}
+	prev := int64(-1)
+	for slo := time.Millisecond; slo < 10*time.Second; slo *= 2 {
+		n := h.CountUnder(slo)
+		if n < prev {
+			t.Fatalf("CountUnder(%v) = %d < previous %d", slo, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestSLOCountFraction(t *testing.T) {
+	if f := (SLOCount{}).Fraction(); f != 1 {
+		t.Fatalf("empty window fraction = %v, want 1", f)
+	}
+	c := SLOCount{Under: 3, Served: 4, Failed: 1}
+	if c.Total() != 5 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if f := c.Fraction(); f != 0.6 {
+		t.Fatalf("Fraction = %v, want 0.6 (failures are violations)", f)
+	}
+}
+
+func TestWindowUnder(t *testing.T) {
+	r := NewBinned(time.Second)
+	// Bin 0: two fast. Bin 5: one fast, one slow, one failure. Bin 9: slow.
+	r.RecordAt(100*time.Millisecond, time.Millisecond, true)
+	r.RecordAt(900*time.Millisecond, 2*time.Millisecond, true)
+	r.RecordAt(5*time.Second, time.Millisecond, true)
+	r.RecordAt(5500*time.Millisecond, 3*time.Second, true)
+	r.RecordAt(5600*time.Millisecond, 0, false)
+	r.RecordAt(9*time.Second, 2*time.Second, true)
+
+	slo := 100 * time.Millisecond
+	all := r.TotalUnder(slo)
+	if all.Under != 3 || all.Served != 5 || all.Failed != 1 {
+		t.Fatalf("TotalUnder = %+v", all)
+	}
+	w := r.WindowUnder(5*time.Second, 6*time.Second, slo)
+	if w.Under != 1 || w.Served != 2 || w.Failed != 1 {
+		t.Fatalf("WindowUnder bin 5 = %+v", w)
+	}
+	if f := w.Fraction(); f != 1.0/3 {
+		t.Fatalf("bin-5 fraction = %v, want 1/3", f)
+	}
+	if e := r.WindowUnder(2*time.Second, 4*time.Second, slo); e.Total() != 0 || e.Fraction() != 1 {
+		t.Fatalf("empty window = %+v frac=%v", e, e.Fraction())
+	}
+}
+
+func TestWorstWindowUnder(t *testing.T) {
+	r := NewBinned(time.Second)
+	slo := 10 * time.Millisecond
+	// Bin 1: 20 fast (frac 1). Bin 3: 10 fast + 10 slow (frac 0.5).
+	// Bin 7: 1 slow — below minTotal, must be skipped.
+	for i := 0; i < 20; i++ {
+		r.RecordAt(time.Second+time.Duration(i)*time.Millisecond, time.Millisecond, true)
+	}
+	for i := 0; i < 10; i++ {
+		r.RecordAt(3*time.Second+time.Duration(i)*time.Millisecond, time.Millisecond, true)
+		r.RecordAt(3*time.Second+time.Duration(10+i)*time.Millisecond, time.Second, true)
+	}
+	r.RecordAt(7*time.Second, time.Second, true)
+
+	at, frac := r.WorstWindowUnder(slo, 10)
+	if at != 3*time.Second || frac != 0.5 {
+		t.Fatalf("worst = %v at %v, want 0.5 at 3s", frac, at)
+	}
+	// With the floor above every bin, the default (0, 1) comes back.
+	if at, frac := r.WorstWindowUnder(slo, 1000); at != 0 || frac != 1 {
+		t.Fatalf("no qualifying bin: got %v at %v", frac, at)
+	}
+}

@@ -26,7 +26,7 @@ func (s *Server) acceptRequest(r *workload.Request) {
 			return // client gave up while we were queued
 		}
 		s.inflight++
-		s.emit(trace.Request, trace.EvReqAdmit, trace.NoNode, int64(r.File), "")
+		s.emitReq(trace.EvReqAdmit, r.ID, int64(r.File), "")
 		s.route(r)
 	})
 }
@@ -95,7 +95,7 @@ func (s *Server) pickService(f int) (int, bool) {
 
 func (s *Server) finish(r *workload.Request) {
 	if !r.Settled() {
-		s.emit(trace.Request, trace.EvReqServe, trace.NoNode, int64(r.File), "")
+		s.emitReq(trace.EvReqServe, r.ID, int64(r.File), "")
 	}
 	r.Complete()
 	if s.inflight > 0 {
@@ -108,7 +108,7 @@ func (s *Server) finish(r *workload.Request) {
 // untraced — the client already recorded its own outcome.
 func (s *Server) failReq(r *workload.Request, o metrics.Outcome, note string) {
 	if !r.Settled() {
-		s.emit(trace.Request, trace.EvReqDrop, trace.NoNode, int64(r.File), note)
+		s.emitReq(trace.EvReqDrop, r.ID, int64(r.File), note)
 	}
 	r.Fail(o)
 }

@@ -205,6 +205,17 @@ func (s *Server) emit(cat trace.Category, name string, peer int, arg int64, note
 	})
 }
 
+// emitReq traces a request-lifecycle instant (admit/serve/drop)
+// carrying the request's global id, so hop decomposition can correlate
+// the lifecycle back to one request. Instants do not serialize the id,
+// so trace files are unchanged by the threading.
+func (s *Server) emitReq(name string, id uint64, arg int64, note string) {
+	s.trc().Emit(trace.Event{
+		TS: s.k().Now(), Cat: trace.Request, Name: name,
+		Node: s.id, Peer: trace.NoNode, Arg: arg, Note: note, ID: id,
+	})
+}
+
 // emitSpan traces one side of an async request span (Ph = trace.PhBegin
 // or PhEnd) correlated by the client request's global id.
 func (s *Server) emitSpan(ph byte, name string, peer int, id uint64, arg int64) {
