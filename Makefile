@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify vet race race-full race-fast golden trace-smoke lat-smoke slo-smoke chaos-smoke ci bench-campaign
+.PHONY: all build test verify vet race race-full race-fast golden trace-smoke lat-smoke slo-smoke chaos-smoke chaos-guided-smoke soak-smoke ci bench-campaign
 
 all: verify
 
@@ -30,10 +30,10 @@ vet:
 # chaos campaigns fan out over the same pool, so internal/chaos rides
 # along.
 race:
-	$(GO) test -race -short -timeout 45m ./internal/experiments/... ./internal/sim/... ./internal/chaos/...
+	$(GO) test -race -short -timeout 45m ./internal/experiments/... ./internal/sim/... ./internal/chaos/... ./internal/obs/...
 
 race-full:
-	$(GO) test -race -timeout 45m ./internal/experiments/... ./internal/sim/... ./internal/chaos/...
+	$(GO) test -race -timeout 45m ./internal/experiments/... ./internal/sim/... ./internal/chaos/... ./internal/obs/...
 
 # Just the parallel-engine tests under the race detector — the quick
 # iteration loop while touching pool.go / campaign.go.
@@ -126,7 +126,39 @@ chaos-smoke:
 	! $(GO) run ./cmd/chaos -replay $(CHAOS_SMOKE_DIR)/a/repro_run00.json
 	rm -rf $(CHAOS_SMOKE_DIR)
 
-ci: vet verify race golden trace-smoke lat-smoke slo-smoke chaos-smoke
+# Guided-chaos smoke test: a tiny coverage-guided campaign with a batch
+# smaller than the budget (so mutation rounds actually exercise), twice.
+# Checks (1) determinism — stdout and the written corpus directories are
+# byte-identical between the two runs; (2) a pinned golden corpus-summary
+# line for seed 3, the guided analogue of the other smoke goldens. If a
+# change intentionally shifts the search, update CHAOS_GUIDED_GOLDEN
+# from the new corpus_summary.txt.
+CHAOS_GUIDED_GOLDEN = corpus: 10 entries, 238 signature bits, 0/10 runs violated, first violation run 0
+chaos-guided-smoke:
+	rm -rf $(CHAOS_SMOKE_DIR) && mkdir -p $(CHAOS_SMOKE_DIR)/ca $(CHAOS_SMOKE_DIR)/cb
+	$(GO) run ./cmd/chaos -coverage -version TCP-PRESS-HB -seed 3 -runs 10 -batch 4 \
+		$(CHAOS_SMOKE_FLAGS) -corpus $(CHAOS_SMOKE_DIR)/ca > $(CHAOS_SMOKE_DIR)/a.txt
+	$(GO) run ./cmd/chaos -coverage -version TCP-PRESS-HB -seed 3 -runs 10 -batch 4 \
+		$(CHAOS_SMOKE_FLAGS) -corpus $(CHAOS_SMOKE_DIR)/cb > $(CHAOS_SMOKE_DIR)/b.txt
+	cmp $(CHAOS_SMOKE_DIR)/a.txt $(CHAOS_SMOKE_DIR)/b.txt
+	diff -r $(CHAOS_SMOKE_DIR)/ca $(CHAOS_SMOKE_DIR)/cb
+	grep -qF '$(CHAOS_GUIDED_GOLDEN)' $(CHAOS_SMOKE_DIR)/ca/corpus_summary.txt
+	rm -rf $(CHAOS_SMOKE_DIR)
+
+# Soak smoke test: one multi-cycle soak on a surviving kernel, twice.
+# Checks determinism (byte-identical output) and that every cycle plus
+# the final full-suite judgement stays green.
+soak-smoke:
+	rm -rf $(CHAOS_SMOKE_DIR) && mkdir -p $(CHAOS_SMOKE_DIR)
+	$(GO) run ./cmd/chaos -soak -version TCP-PRESS-HB -seed 3 -cycles 2 \
+		$(CHAOS_SMOKE_FLAGS) > $(CHAOS_SMOKE_DIR)/a.txt
+	$(GO) run ./cmd/chaos -soak -version TCP-PRESS-HB -seed 3 -cycles 2 \
+		$(CHAOS_SMOKE_FLAGS) > $(CHAOS_SMOKE_DIR)/b.txt
+	cmp $(CHAOS_SMOKE_DIR)/a.txt $(CHAOS_SMOKE_DIR)/b.txt
+	grep -qF '0/2 cycles violated an invariant' $(CHAOS_SMOKE_DIR)/a.txt
+	rm -rf $(CHAOS_SMOKE_DIR)
+
+ci: vet verify race golden trace-smoke lat-smoke slo-smoke chaos-smoke chaos-guided-smoke soak-smoke
 
 # Serial vs parallel full-campaign wall clock (see EXPERIMENTS.md,
 # "Runtime"). Each iteration is a complete 60-run campaign.

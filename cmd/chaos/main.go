@@ -1,22 +1,38 @@
-// Command chaos runs randomized multi-fault campaigns against a PRESS
-// version and judges every run with the invariant oracles (request
-// conservation, liveness, post-heal recovery, membership convergence,
-// trace well-formedness). A violated run is shrunk by delta debugging to
-// a minimal failing schedule and written as a JSON repro artifact under
-// -out; `chaos -replay <artifact>` re-runs it deterministically and
-// re-judges it.
+// Command chaos runs multi-fault campaigns against a PRESS version and
+// judges every run with the invariant oracles (request conservation,
+// liveness, post-heal recovery, membership convergence, trace
+// well-formedness, and the trace-ordering invariants no-send-after-evict
+// and no-admit-on-crashed). A violated run is shrunk by delta debugging
+// to a minimal failing schedule and written as a JSON repro artifact
+// under -out; `chaos -replay <artifact>` re-runs it deterministically
+// and re-judges it.
+//
+// Three search modes share the oracle suite:
+//
+//   - the default draws -runs independent random schedules;
+//   - -coverage replaces random draws with a coverage-guided mutation
+//     loop: a corpus of schedules that lit new coverage-signature bits
+//     seeds add/remove/shift/stretch/crossover mutations (-batch per
+//     round, corpus written to -corpus);
+//   - -soak chains -cycles schedules back-to-back on one surviving
+//     kernel and judges the continuously checkable invariants at every
+//     cycle boundary.
 //
 // -break-oracle <fault> arms an intentionally broken fixture oracle that
-// flags any injection of the named fault as a violation. It exists so CI
-// can prove, on every run, that the violation → shrink → repro → replay
-// pipeline works end to end (a chaos engine whose failure path is never
-// exercised is itself untested).
+// flags any injection of the named fault as a violation; -break-pair
+// <a>+<b> arms the two-fault conjunction variant (the seeded violation
+// the guided search finds faster than random). They exist so CI can
+// prove, on every run, that the violation → shrink → repro → replay
+// pipeline works end to end.
 //
 // Usage:
 //
 //	chaos [-version TCP-PRESS] [-seed 1] [-runs 8] [-budget 4] [-parallel N]
 //	      [-full] [-load 0.5] [-stabilize 30s] [-window 60s] [-min-dur 5s]
-//	      [-max-dur 30s] [-settle 45s] [-out DIR] [-trace DIR] [-break-oracle FAULT]
+//	      [-max-dur 30s] [-settle 45s] [-out DIR] [-trace DIR]
+//	      [-break-oracle FAULT] [-break-pair A+B]
+//	chaos -coverage [-batch 8] [-corpus DIR] [...campaign flags]
+//	chaos -soak [-cycles 4] [-trace out.trace.json] [...campaign flags]
 //	chaos -replay repro.json [-trace out.trace.json]
 package main
 
@@ -26,75 +42,78 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"vivo/internal/chaos"
 	"vivo/internal/cli"
+	"vivo/internal/press"
 	"vivo/internal/trace"
 )
 
 func main() {
-	versionName := cli.VersionFlag("TCP-PRESS")
-	seed := cli.SeedFlag()
-	runs := flag.Int("runs", 8, "number of randomized fault schedules to run")
-	budget := flag.Int("budget", 0, "maximum faults per schedule (0 = default)")
-	parallel := cli.ParallelFlag()
-	full := flag.Bool("full", false, "paper-scale deployment (slower)")
-	load := flag.Float64("load", 0, "offered load as a fraction of Table-1 capacity (0 = default)")
-	stabilize := flag.Duration("stabilize", 0, "pre-injection steady period (0 = default)")
-	window := flag.Duration("window", 0, "injection window length (0 = default)")
-	minDur := flag.Duration("min-dur", 0, "shortest fault duration (0 = default)")
-	maxDur := flag.Duration("max-dur", 0, "longest fault duration (0 = default)")
-	settle := flag.Duration("settle", 0, "post-heal stabilization before oracles judge (0 = default)")
-	out := flag.String("out", "", "directory for repro artifacts of violated runs (default: current directory)")
-	traceDst := flag.String("trace", "", "trace destination: a directory for campaigns (one file per run), a file with -replay")
-	breakOracle := flag.String("break-oracle", "", "arm the broken fixture oracle that forbids this fault (proves the violation pipeline)")
-	replay := flag.String("replay", "", "replay a repro artifact instead of running a campaign")
+	cf := cli.NewChaosFlags()
 	flag.Parse()
 
-	if *replay != "" {
-		replayArtifact(*replay, *traceDst)
+	if *cf.Replay != "" {
+		replayArtifact(*cf.Replay, *cf.Trace)
 		return
 	}
 
-	version := cli.MustVersion(*versionName)
+	version := cli.MustVersion(*cf.Version)
 	p := chaos.DefaultParams()
-	p.FullScale = *full
-	if *load > 0 {
-		p.LoadFraction = *load
+	p.FullScale = *cf.Full
+	if *cf.Load > 0 {
+		p.LoadFraction = *cf.Load
 	}
-	if *budget > 0 {
-		p.Budget = *budget
+	if *cf.Budget > 0 {
+		p.Budget = *cf.Budget
 	}
-	if *stabilize > 0 {
-		p.Stabilize = *stabilize
+	if *cf.Stabilize > 0 {
+		p.Stabilize = *cf.Stabilize
 	}
-	if *window > 0 {
-		p.Window = *window
+	if *cf.Window > 0 {
+		p.Window = *cf.Window
 	}
-	if *minDur > 0 {
-		p.MinDur = *minDur
+	if *cf.MinDur > 0 {
+		p.MinDur = *cf.MinDur
 	}
-	if *maxDur > 0 {
-		p.MaxDur = *maxDur
+	if *cf.MaxDur > 0 {
+		p.MaxDur = *cf.MaxDur
 		if p.MinDur > p.MaxDur {
 			p.MinDur = p.MaxDur
 		}
 	}
-	if *settle > 0 {
-		p.Settle = *settle
+	if *cf.Settle > 0 {
+		p.Settle = *cf.Settle
 	}
 
 	oracles := chaos.DefaultOracles()
-	if *breakOracle != "" {
-		oracles = append(oracles, chaos.ForbidFault{T: cli.MustFault(*breakOracle)})
+	if *cf.BreakOracle != "" {
+		oracles = append(oracles, chaos.ForbidFault{T: cli.MustFault(*cf.BreakOracle)})
+	}
+	if *cf.BreakPair != "" {
+		a, b, ok := strings.Cut(*cf.BreakPair, "+")
+		if !ok {
+			log.Fatalf("-break-pair wants two fault names joined by +, got %q", *cf.BreakPair)
+		}
+		oracles = append(oracles, chaos.ForbidPair{A: cli.MustFault(a), B: cli.MustFault(b)})
+	}
+
+	if *cf.Soak {
+		runSoak(version, p, cf)
+		return
+	}
+	if *cf.Coverage {
+		runGuided(version, p, cf, oracles)
+		return
 	}
 
 	rep, err := chaos.Run(chaos.Options{
 		Version:  version,
-		Seed:     *seed,
-		Runs:     *runs,
-		Parallel: *parallel,
-		TraceDir: *traceDst,
+		Seed:     *cf.Seed,
+		Runs:     *cf.Runs,
+		Parallel: *cf.Parallel,
+		TraceDir: *cf.Trace,
 		Params:   p,
 	}, oracles)
 	if err != nil {
@@ -102,25 +121,90 @@ func main() {
 	}
 	fmt.Print(rep.String())
 
-	dir := *out
-	if dir == "" {
-		dir = "."
-	} else if err := os.MkdirAll(dir, 0o755); err != nil {
-		log.Fatalf("create repro directory: %v", err)
-	}
+	dir := reproDir(*cf.Out)
 	for _, rr := range rep.Runs {
 		if rr.Repro == nil {
 			continue
 		}
-		path := filepath.Join(dir, fmt.Sprintf("repro_run%02d.json", rr.Index))
-		if err := chaos.WriteRepro(path, *rr.Repro); err != nil {
-			log.Fatalf("write repro artifact: %v", err)
-		}
-		fmt.Printf("repro artifact: %s (replay with: chaos -replay %s)\n", path, path)
+		writeRepro(dir, fmt.Sprintf("repro_run%02d.json", rr.Index), *rr.Repro)
 	}
 	if rep.Violated() > 0 {
 		os.Exit(1)
 	}
+}
+
+// runGuided executes the coverage-guided search mode.
+func runGuided(version press.Version, p chaos.Params, cf *cli.ChaosFlags, oracles []chaos.Oracle) {
+	rep, err := chaos.RunGuided(chaos.GuidedOptions{
+		Version:   version,
+		Seed:      *cf.Seed,
+		Budget:    *cf.Runs,
+		Batch:     *cf.Batch,
+		Parallel:  *cf.Parallel,
+		CorpusDir: *cf.Corpus,
+		TraceDir:  *cf.Trace,
+		Params:    p,
+	}, oracles)
+	if err != nil {
+		log.Fatalf("chaos guided campaign: %v", err)
+	}
+	fmt.Print(rep.String())
+
+	dir := reproDir(*cf.Out)
+	for _, gr := range rep.Runs {
+		if gr.Repro == nil {
+			continue
+		}
+		writeRepro(dir, fmt.Sprintf("repro_run%03d.json", gr.Index), *gr.Repro)
+	}
+	if rep.Violated() > 0 {
+		os.Exit(1)
+	}
+}
+
+// runSoak executes the long-horizon soak mode.
+func runSoak(version press.Version, p chaos.Params, cf *cli.ChaosFlags) {
+	var sink trace.Sink
+	var finish func()
+	if *cf.Trace != "" {
+		fs, fin := cli.MustTraceFile(*cf.Trace)
+		sink, finish = fs, fin
+	}
+	rep, err := chaos.RunSoak(chaos.SoakOptions{
+		Version: version,
+		Seed:    *cf.Seed,
+		Cycles:  *cf.Cycles,
+		Params:  p,
+	}, sink)
+	if err != nil {
+		log.Fatalf("chaos soak: %v", err)
+	}
+	if finish != nil {
+		finish()
+	}
+	fmt.Print(rep.String())
+	if rep.Violated() > 0 {
+		os.Exit(1)
+	}
+}
+
+// reproDir resolves and creates the repro output directory.
+func reproDir(out string) string {
+	if out == "" {
+		return "."
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		log.Fatalf("create repro directory: %v", err)
+	}
+	return out
+}
+
+func writeRepro(dir, name string, r chaos.Repro) {
+	path := filepath.Join(dir, name)
+	if err := chaos.WriteRepro(path, r); err != nil {
+		log.Fatalf("write repro artifact: %v", err)
+	}
+	fmt.Printf("repro artifact: %s (replay with: chaos -replay %s)\n", path, path)
 }
 
 // replayArtifact re-runs a repro deterministically and re-judges it.
@@ -133,16 +217,8 @@ func replayArtifact(path, tracePath string) {
 	var sink trace.Sink
 	var finish func()
 	if tracePath != "" {
-		fs, err := trace.CreateFile(tracePath)
-		if err != nil {
-			log.Fatalf("%v", err)
-		}
-		sink = fs
-		finish = func() {
-			if err := fs.Close(); err != nil {
-				log.Fatalf("write trace file: %v", err)
-			}
-		}
+		fs, fin := cli.MustTraceFile(tracePath)
+		sink, finish = fs, fin
 	}
 
 	verdicts, reproduced, _, err := chaos.Replay(r, sink)

@@ -31,6 +31,34 @@ type Options struct {
 	TraceDir string
 	// Params fixes scale and timing; zero value means DefaultParams.
 	Params Params
+
+	// runner substitutes the simulation for tests (nil = real runs).
+	runner runFunc
+}
+
+// runFunc abstracts one simulated run so the guided-vs-random comparison
+// tests can substitute a synthetic runner. name labels the run's trace
+// file; the empty name means an untraced auxiliary run (shrink
+// candidates, replays inside the shrinker).
+type runFunc func(v press.Version, p Params, seed int64, sched Schedule, name string) (*Observation, error)
+
+// traceRunner is the real runner: runOne, plus a per-run trace file when
+// dir is non-empty and the run is named.
+func traceRunner(dir string) runFunc {
+	return func(v press.Version, p Params, seed int64, sched Schedule, name string) (*Observation, error) {
+		if name == "" {
+			return runOne(v, p, seed, sched, nil)
+		}
+		return runTraced(v, p, seed, sched, dir, name)
+	}
+}
+
+// ensureDir creates an output directory, wrapping the error chaos-style.
+func ensureDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("chaos: trace dir: %v", err)
+	}
+	return nil
 }
 
 // RunReport is the outcome of one schedule.
@@ -69,6 +97,18 @@ func (r *Report) Violated() int {
 	return n
 }
 
+// FirstViolation returns the 1-based ordinal of the first violated run
+// (0 when the campaign stayed green) — the random-search side of the
+// guided-vs-random comparison metric.
+func (r *Report) FirstViolation() int {
+	for _, rr := range r.Runs {
+		if len(rr.Violations) > 0 {
+			return rr.Index + 1
+		}
+	}
+	return 0
+}
+
 // deriveSeed spreads one campaign seed over its runs: index 0 is the
 // baseline, 1..Runs the schedules. The multipliers are primes so
 // neighbouring campaign seeds do not share run seeds.
@@ -100,9 +140,13 @@ func Run(opt Options, oracles []Oracle) (*Report, error) {
 	if len(oracles) == 0 {
 		oracles = DefaultOracles()
 	}
-	if opt.TraceDir != "" {
-		if err := os.MkdirAll(opt.TraceDir, 0o755); err != nil {
-			return nil, fmt.Errorf("chaos: trace dir: %v", err)
+	runner := opt.runner
+	if runner == nil {
+		runner = traceRunner(opt.TraceDir)
+		if opt.TraceDir != "" {
+			if err := ensureDir(opt.TraceDir); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -111,7 +155,7 @@ func Run(opt Options, oracles []Oracle) (*Report, error) {
 	gen := p.gen(nodes)
 
 	baselineSeed := deriveSeed(opt.Seed, 0)
-	base, err := runTraced(v, p, baselineSeed, Schedule{}, opt.TraceDir, "baseline")
+	base, err := runner(v, p, baselineSeed, Schedule{}, "baseline")
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +178,7 @@ func Run(opt Options, oracles []Oracle) (*Report, error) {
 	experiments.ForEach(opt.Runs, workers, func(i int) {
 		runSeed := deriveSeed(opt.Seed, i+1)
 		sched := Generate(scheduleSeed(runSeed), gen)
-		obs, err := runTraced(v, p, runSeed, sched, opt.TraceDir, fmt.Sprintf("chaos_run%02d", i))
+		obs, err := runner(v, p, runSeed, sched, fmt.Sprintf("chaos_run%02d", i))
 		if err != nil {
 			// Generated schedules are valid by construction; an error
 			// here is a bug, not a finding.
@@ -150,7 +194,7 @@ func Run(opt Options, oracles []Oracle) (*Report, error) {
 			Violations: failures(verdicts),
 		}
 		if len(rr.Violations) > 0 {
-			rr.Repro = shrinkToRepro(v, p, runSeed, baselineSeed, baselineTail, sched, rr.Violations, oracles)
+			rr.Repro = shrinkToRepro(runner, v, p, runSeed, baselineSeed, baselineTail, sched, rr.Violations, oracles)
 		}
 		rep.Runs[i] = rr
 	})
@@ -176,14 +220,14 @@ func runTraced(v press.Version, p Params, seed int64, sched Schedule, dir, name 
 // shrinkToRepro delta-debugs a failing schedule down to a minimal one
 // that still fails at least one of the originally violated oracles, and
 // packages it as a replayable artifact.
-func shrinkToRepro(v press.Version, p Params, runSeed, baselineSeed int64, baselineTail float64,
+func shrinkToRepro(runner runFunc, v press.Version, p Params, runSeed, baselineSeed int64, baselineTail float64,
 	sched Schedule, violated []string, oracles []Oracle) *Repro {
 	want := map[string]bool{}
 	for _, name := range violated {
 		want[name] = true
 	}
 	stillFails := func(cand Schedule) bool {
-		obs, err := runOne(v, p, runSeed, cand, nil)
+		obs, err := runner(v, p, runSeed, cand, "")
 		if err != nil {
 			return false
 		}
@@ -200,7 +244,7 @@ func shrinkToRepro(v press.Version, p Params, runSeed, baselineSeed int64, basel
 	// Re-judge the minimal schedule to record exactly which oracles the
 	// *shrunk* run violates (shrinking guarantees at least one of the
 	// originals still fails; others may have healed away).
-	obs, err := runOne(v, p, runSeed, minimal, nil)
+	obs, err := runner(v, p, runSeed, minimal, "")
 	var final []string
 	if err == nil {
 		obs.BaselineTail = baselineTail

@@ -1,0 +1,57 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CorpusEntry is one interesting schedule kept by the guided search: a
+// run that lit at least one new coverage bit, with enough provenance to
+// see how the search got there.
+type CorpusEntry struct {
+	// Run is the 0-based global run index that produced the entry.
+	Run int `json:"run"`
+	// Origin documents the derivation: "gen" for a fresh draw, or
+	// "<op>(c<parent>)" / "cross(c<parent>,c<donor>)" with corpus
+	// indices at mutation time.
+	Origin string `json:"origin"`
+	// FreshBits is how many signature bits this run lit first.
+	FreshBits int `json:"fresh_bits"`
+	// Violations names the oracles the run failed (usually empty —
+	// interesting ≠ broken).
+	Violations []string `json:"violations,omitempty"`
+	// Schedule is the fault schedule itself, in the repro JSON dialect.
+	Schedule Schedule `json:"schedule"`
+}
+
+// Corpus is the ordered set of interesting schedules. Entries append in
+// discovery order, which is deterministic for a fixed seed at any
+// parallelism (the guided loop merges batch results serially).
+type Corpus struct {
+	Entries []CorpusEntry
+}
+
+// Len returns the number of entries.
+func (c *Corpus) Len() int { return len(c.Entries) }
+
+// WriteDir persists every entry as corpus_NNNN.json under dir (created
+// if needed), plus a corpus_summary.txt with the one-line summary. Two
+// identical campaigns write byte-identical files.
+func (c *Corpus) WriteDir(dir, summary string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("chaos: corpus dir: %v", err)
+	}
+	for i, e := range c.Entries {
+		b, err := json.MarshalIndent(e, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("corpus_%04d.json", i))
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(filepath.Join(dir, "corpus_summary.txt"), []byte(summary+"\n"), 0o644)
+}

@@ -56,6 +56,7 @@ type Oracle interface {
 func DefaultOracles() []Oracle {
 	return []Oracle{
 		conservation{}, liveness{}, wellFormed{}, recovery{}, membership{},
+		evictSend{}, crashAdmit{},
 	}
 }
 

@@ -1,0 +1,204 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vivo/internal/faults"
+	"vivo/internal/trace"
+)
+
+// The ordering oracles check properties of the *sequence* of trace
+// events, not just their counts: protocol steps that must not interleave
+// the wrong way. Both are pure folds over the in-memory event log the
+// EventLog probe collects, replaying the emission order once with O(1)
+// state per node pair.
+
+// evictSend checks "no send after eviction": once a server Y removes
+// peer X from its membership view, Y must not address X again until
+// something re-establishes the relationship. The fold opens a window per
+// (evictor, evicted) pair on a "removed" membership event and closes it
+// when:
+//
+//   - a later membership event on Y carries a view containing X (rejoin,
+//     accepted join, remerge result, admission — any path back in);
+//   - Y's view resets wholesale ("remerge" abandons the partition,
+//     "join timeout" salvages whatever the policy kept);
+//   - Y receives from X — the channel is back, so sends are fair game
+//     (the VIA implicit rejoin admits on exactly this signal);
+//   - Y's process dies (app/node crash injection or a fatal): the next
+//     incarnation starts with fresh state and owes X nothing.
+//
+// A send (or send attempt: send-block, credit-stall) from Y to X while
+// the window is open is a violation.
+type evictSend struct{}
+
+func (evictSend) Name() string { return "no-send-after-evict" }
+
+func (evictSend) Check(o *Observation) Verdict {
+	v := Verdict{Oracle: "no-send-after-evict", Status: Pass}
+	if o.Events == nil {
+		v.Status = Skip
+		v.Detail = "no event log collected"
+		return v
+	}
+	type pair struct{ y, x int }
+	evicted := map[pair]bool{}
+	clearEvictor := func(y int) {
+		for k := range evicted {
+			if k.y == y {
+				delete(evicted, k)
+			}
+		}
+	}
+	for _, e := range o.Events.Events() {
+		switch e.Name {
+		case trace.EvMembership:
+			trigger, view := parseMembershipNote(e.Note)
+			for _, x := range view {
+				delete(evicted, pair{e.Node, x})
+			}
+			switch trigger {
+			case "removed":
+				if e.Peer >= 0 {
+					evicted[pair{e.Node, e.Peer}] = true
+				}
+			case "remerge", "join timeout":
+				clearEvictor(e.Node)
+			}
+		case trace.EvRecv:
+			if e.Peer >= 0 {
+				delete(evicted, pair{e.Node, e.Peer})
+			}
+		case trace.EvFaultInject:
+			if processKilling(faultName(e.Note)) {
+				clearEvictor(e.Node)
+			}
+		case trace.EvFatal:
+			clearEvictor(e.Node)
+		case trace.EvSend, trace.EvSendBlock, trace.EvCreditStall:
+			if e.Peer >= 0 && evicted[pair{e.Node, e.Peer}] {
+				v.Status = Fail
+				v.Detail = fmt.Sprintf("n%d %s to n%d at %v after evicting it",
+					e.Node, e.Name, e.Peer, e.TS)
+				return v
+			}
+		}
+	}
+	return v
+}
+
+// processKilling lists the fault injections after which the target's
+// press process is a different incarnation (so its pre-fault eviction
+// state is gone).
+func processKilling(name string) bool {
+	switch name {
+	case faults.AppCrash.String(), faults.NodeCrash.String(),
+		faults.BadPtrNull.String(), faults.BadPtrOffset.String(),
+		faults.BadSizeOffset.String():
+		return true
+	}
+	return false
+}
+
+// parseMembershipNote splits a membership event note
+// ("removed; view [0 2 3]") into its trigger and view. A note that does
+// not carry a view (future emitters) yields a nil view.
+func parseMembershipNote(note string) (trigger string, view []int) {
+	trigger, rest, ok := strings.Cut(note, "; view ")
+	if !ok {
+		return note, nil
+	}
+	rest = strings.TrimPrefix(rest, "[")
+	rest = strings.TrimSuffix(rest, "]")
+	if rest == "" {
+		return trigger, nil
+	}
+	for _, f := range strings.Fields(rest) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return trigger, nil
+		}
+		view = append(view, n)
+	}
+	return trigger, view
+}
+
+// crashAdmit checks "no request admitted on a crashed node": between a
+// node-crash injection and its heal the node's hardware is down, so its
+// server cannot have accepted a connection. The fold counts open
+// node-crash injections per node (the injector's no-op inject/heal pairs
+// balance at the same timestamp) and flags any req-admit inside a window.
+type crashAdmit struct{}
+
+func (crashAdmit) Name() string { return "no-admit-on-crashed" }
+
+func (crashAdmit) Check(o *Observation) Verdict {
+	v := Verdict{Oracle: "no-admit-on-crashed", Status: Pass}
+	if o.Events == nil {
+		v.Status = Skip
+		v.Detail = "no event log collected"
+		return v
+	}
+	crashName := faults.NodeCrash.String()
+	open := map[int]int{}
+	for _, e := range o.Events.Events() {
+		switch e.Name {
+		case trace.EvFaultInject:
+			if faultName(e.Note) == crashName {
+				open[e.Node]++
+			}
+		case trace.EvFaultHeal:
+			if faultName(e.Note) == crashName && open[e.Node] > 0 {
+				open[e.Node]--
+			}
+		case trace.EvReqAdmit:
+			if open[e.Node] > 0 {
+				v.Status = Fail
+				v.Detail = fmt.Sprintf("n%d admitted a request at %v while node-crashed",
+					e.Node, e.TS)
+				return v
+			}
+		}
+	}
+	return v
+}
+
+// ForbidPair is the guided search's seeded-violation fixture: it flags
+// any run whose trace injects *both* fault types — a conjunction rare
+// enough under random draws that finding it exercises the corpus and
+// crossover machinery (a schedule containing one half is interesting the
+// moment it lights new bits, and crossover splices the halves together).
+// Like ForbidFault it is not part of DefaultOracles.
+type ForbidPair struct{ A, B faults.Type }
+
+// Name implements Oracle.
+func (f ForbidPair) Name() string {
+	return "forbid-pair-" + f.A.String() + "+" + f.B.String()
+}
+
+// Check implements Oracle: it fails iff the trace shows injections of
+// both types (reading the trace, not the schedule, so shrinking must
+// keep one actually-injected instance of each).
+func (f ForbidPair) Check(o *Observation) Verdict {
+	v := Verdict{Oracle: f.Name(), Status: Pass}
+	var sawA, sawB bool
+	for _, e := range o.Events.Events() {
+		if e.Name != trace.EvFaultInject {
+			continue
+		}
+		switch faultName(e.Note) {
+		case f.A.String():
+			sawA = true
+		case f.B.String():
+			sawB = true
+		}
+		if sawA && sawB {
+			v.Status = Fail
+			v.Detail = fmt.Sprintf("fixture violation: both %s and %s injected", f.A, f.B)
+			return v
+		}
+	}
+	return v
+}

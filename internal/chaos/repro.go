@@ -68,6 +68,20 @@ func reproOracles(r Repro) ([]Oracle, error) {
 		if have[name] {
 			continue
 		}
+		if rest, ok := strings.CutPrefix(name, "forbid-pair-"); ok {
+			a, b, ok := strings.Cut(rest, "+")
+			if !ok {
+				return nil, fmt.Errorf("chaos: malformed fixture oracle %q in repro", name)
+			}
+			fa, okA := faults.TypeByName(a)
+			fb, okB := faults.TypeByName(b)
+			if !okA || !okB {
+				return nil, fmt.Errorf("chaos: unknown fault pair %q in fixture oracle %q", rest, name)
+			}
+			suite = append(suite, ForbidPair{A: fa, B: fb})
+			have[name] = true
+			continue
+		}
 		rest, ok := strings.CutPrefix(name, "forbid-")
 		if !ok {
 			return nil, fmt.Errorf("chaos: unknown oracle %q in repro", name)

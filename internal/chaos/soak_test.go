@@ -1,0 +1,93 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"vivo/internal/press"
+)
+
+// TestSoakStaysGreenAtLightGeometry is the positive path: a multi-cycle
+// soak on a healthy version must survive every cycle boundary and the
+// final full-suite judgement, and each cycle must draw its own schedule.
+func TestSoakStaysGreenAtLightGeometry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak chains several real runs; covered by make soak-smoke")
+	}
+	rep, err := RunSoak(SoakOptions{
+		Version: press.TCPPress,
+		Seed:    3,
+		Cycles:  2,
+		Params:  testParams(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violated() != 0 {
+		t.Fatalf("soak violated an invariant:\n%s", rep)
+	}
+	if len(rep.Cycles) != 2 {
+		t.Fatalf("%d judged cycles, want 2", len(rep.Cycles))
+	}
+	if rep.BaselineTail <= 0 {
+		t.Fatal("baseline cycle measured no tail throughput")
+	}
+	if rep.Cycles[0].Schedule.Key() == rep.Cycles[1].Schedule.Key() {
+		t.Fatalf("cycles drew identical schedules: %s", rep.Cycles[0].Schedule)
+	}
+	for _, c := range rep.Cycles {
+		if c.Base != time.Duration(c.Index)*rep.CycleLen {
+			t.Errorf("cycle %d base %v, want %v", c.Index, c.Base, time.Duration(c.Index)*rep.CycleLen)
+		}
+		if len(c.Verdicts) == 0 {
+			t.Errorf("cycle %d judged by no oracles", c.Index)
+		}
+	}
+	if len(rep.Final) == 0 {
+		t.Fatal("no final full-suite verdicts")
+	}
+}
+
+// TestSoakDeterministic pins the soak determinism contract behind
+// `make soak-smoke`'s twice-run cmp: same options, same report, bit for
+// bit — including the rendering.
+func TestSoakDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak chains several real runs; covered by make soak-smoke")
+	}
+	run := func() *SoakReport {
+		rep, err := RunSoak(SoakOptions{
+			Version: press.TCPPressHB,
+			Seed:    7,
+			Cycles:  1,
+			Params:  testParams(),
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	r1, r2 := run(), run()
+	// Events aside (the recorders are distinct pointers), the reports
+	// must agree exactly.
+	if !reflect.DeepEqual(r1.Cycles, r2.Cycles) || !reflect.DeepEqual(r1.Final, r2.Final) ||
+		r1.BaselineTail != r2.BaselineTail {
+		t.Fatalf("soak not deterministic:\n%s\nvs\n%s", r1, r2)
+	}
+	if r1.String() != r2.String() {
+		t.Fatal("rendered soak reports differ between identical runs")
+	}
+}
+
+// TestSoakValidation rejects empty soaks and bad geometry up front.
+func TestSoakValidation(t *testing.T) {
+	if _, err := RunSoak(SoakOptions{Version: press.TCPPress, Cycles: 0}, nil); err == nil {
+		t.Fatal("zero-cycle soak accepted")
+	}
+	p := testParams()
+	p.Window = 0
+	if _, err := RunSoak(SoakOptions{Version: press.TCPPress, Cycles: 1, Params: p}, nil); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

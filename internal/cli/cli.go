@@ -163,6 +163,65 @@ func (ef *ExperimentFlags) Options() experiments.Options {
 	return opt
 }
 
+// ChaosFlags bundles every cmd/chaos flag, registered here so the
+// flag-help drift test can diff the command's -h output against one
+// shared registry (the same arrangement as ExperimentFlags).
+type ChaosFlags struct {
+	Version     *string
+	Seed        *int64
+	Runs        *int
+	Budget      *int
+	Parallel    *int
+	Full        *bool
+	Load        *float64
+	Stabilize   *time.Duration
+	Window      *time.Duration
+	MinDur      *time.Duration
+	MaxDur      *time.Duration
+	Settle      *time.Duration
+	Out         *string
+	Trace       *string
+	BreakOracle *string
+	BreakPair   *string
+	Replay      *string
+	Coverage    *bool
+	Batch       *int
+	Corpus      *string
+	Soak        *bool
+	Cycles      *int
+}
+
+// NewChaosFlags registers the chaos command's flags. Call before
+// flag.Parse.
+func NewChaosFlags() *ChaosFlags {
+	return &ChaosFlags{
+		Version:   VersionFlag("TCP-PRESS"),
+		Seed:      SeedFlag(),
+		Runs:      flag.Int("runs", 8, "number of randomized fault schedules to run (the run budget with -coverage)"),
+		Budget:    flag.Int("budget", 0, "maximum faults per schedule (0 = default)"),
+		Parallel:  ParallelFlag(),
+		Full:      flag.Bool("full", false, "paper-scale deployment (slower)"),
+		Load:      flag.Float64("load", 0, "offered load as a fraction of Table-1 capacity (0 = default)"),
+		Stabilize: flag.Duration("stabilize", 0, "pre-injection steady period (0 = default)"),
+		Window:    flag.Duration("window", 0, "injection window length (0 = default)"),
+		MinDur:    flag.Duration("min-dur", 0, "shortest fault duration (0 = default)"),
+		MaxDur:    flag.Duration("max-dur", 0, "longest fault duration (0 = default)"),
+		Settle:    flag.Duration("settle", 0, "post-heal stabilization before oracles judge (0 = default)"),
+		Out:       flag.String("out", "", "directory for repro artifacts of violated runs (default: current directory)"),
+		Trace:     flag.String("trace", "", "trace destination: a directory for campaigns (one file per run), a file with -replay or -soak"),
+		BreakOracle: flag.String("break-oracle", "",
+			"arm the broken fixture oracle that forbids this fault (proves the violation pipeline)"),
+		BreakPair: flag.String("break-pair", "",
+			"arm the fixture oracle that forbids injecting both faults of this pair, e.g. kernel-memory+link-down (the guided search's seeded violation)"),
+		Replay:   flag.String("replay", "", "replay a repro artifact instead of running a campaign"),
+		Coverage: flag.Bool("coverage", false, "coverage-guided schedule search: mutate a corpus of interesting schedules instead of pure random draws"),
+		Batch:    flag.Int("batch", 0, "guided-search generation size: schedules planned per round against the frozen corpus (0 = default)"),
+		Corpus:   flag.String("corpus", "", "directory for the guided search's final corpus (one JSON per entry + corpus_summary.txt)"),
+		Soak:     flag.Bool("soak", false, "long-horizon soak: chain schedules back-to-back on one surviving kernel, judging invariants at every cycle boundary"),
+		Cycles:   flag.Int("cycles", 4, "soak fault cycles after the fault-free baseline cycle"),
+	}
+}
+
 // TraceFlag registers the standard -trace flag. what describes the
 // destination (e.g. "this file" or "this file (a directory with -fault all)").
 func TraceFlag(what string) *string {

@@ -1,0 +1,112 @@
+package cli
+
+import (
+	"flag"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureFlags runs a registration function against a throwaway FlagSet
+// and returns what it registered. Swapping flag.CommandLine (instead of
+// letting registrations hit the real one) keeps the groups independent:
+// ExperimentFlags and ChaosFlags share names like -seed and -load, which
+// would otherwise panic as duplicates.
+func captureFlags(t *testing.T, register func()) map[string]*flag.Flag {
+	t.Helper()
+	old := flag.CommandLine
+	flag.CommandLine = flag.NewFlagSet("capture", flag.ContinueOnError)
+	defer func() { flag.CommandLine = old }()
+	register()
+	out := map[string]*flag.Flag{}
+	flag.CommandLine.VisitAll(func(f *flag.Flag) { out[f.Name] = f })
+	return out
+}
+
+// helpOutput builds a command and captures its -h text. The point of
+// going through a real binary (not a FlagSet in-process) is that this is
+// exactly what a user sees — if a command stops registering a shared
+// flag, or shadows it with a hand-rolled copy, the binary's help drifts
+// and this fails.
+func helpOutput(t *testing.T, name string) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe := filepath.Join(t.TempDir(), name)
+	build := exec.Command("go", "build", "-o", exe, "vivo/cmd/"+name)
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	out, _ := exec.Command(exe, "-h").CombinedOutput() // -h exits 2 by design
+	return string(out)
+}
+
+// checkHelpMatches asserts every registered flag surfaces in the help
+// text with its registry usage string, verbatim.
+func checkHelpMatches(t *testing.T, cmd, help string, flags map[string]*flag.Flag) {
+	t.Helper()
+	for name, f := range flags {
+		if !strings.Contains(help, "-"+name) {
+			t.Errorf("%s -h lacks flag -%s", cmd, name)
+			continue
+		}
+		if !strings.Contains(help, f.Usage) {
+			t.Errorf("%s -h drifted from the registry for -%s:\nregistry: %s", cmd, name, f.Usage)
+		}
+	}
+}
+
+// TestCommandHelpMatchesRegistry diffs each experiment-running command's
+// -h output against the shared cli registry, so a flag documented here
+// and a flag documented to users cannot drift apart.
+func TestCommandHelpMatchesRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the command binaries")
+	}
+	expFlags := captureFlags(t, func() { NewExperimentFlags() })
+	faultExtra := captureFlags(t, func() {
+		VersionFlag("TCP-PRESS")
+		FaultFlag("link-down")
+		TraceFlag("this file (a directory with -fault all)")
+	})
+	chaosFlags := captureFlags(t, func() { NewChaosFlags() })
+
+	t.Run("pressbench", func(t *testing.T) {
+		help := helpOutput(t, "pressbench")
+		checkHelpMatches(t, "pressbench", help, expFlags)
+	})
+	t.Run("faultinject", func(t *testing.T) {
+		help := helpOutput(t, "faultinject")
+		checkHelpMatches(t, "faultinject", help, expFlags)
+		checkHelpMatches(t, "faultinject", help, faultExtra)
+	})
+	t.Run("chaos", func(t *testing.T) {
+		help := helpOutput(t, "chaos")
+		checkHelpMatches(t, "chaos", help, chaosFlags)
+	})
+}
+
+// TestSharedFlagGroupsAgreeOnOverlaps pins the cross-command contract:
+// where the experiment and chaos registries both define a flag name, the
+// semantics callers see must match (same default where the flag means
+// the same thing), and -seed / -parallel must be the standard helpers.
+func TestSharedFlagGroupsAgreeOnOverlaps(t *testing.T) {
+	expFlags := captureFlags(t, func() { NewExperimentFlags() })
+	chaosFlags := captureFlags(t, func() { NewChaosFlags() })
+	for _, name := range []string{"seed", "parallel", "full"} {
+		ef, cf := expFlags[name], chaosFlags[name]
+		if ef == nil || cf == nil {
+			t.Fatalf("flag -%s missing from a registry (exp %v, chaos %v)", name, ef != nil, cf != nil)
+		}
+		if ef.DefValue != cf.DefValue {
+			t.Errorf("-%s defaults diverge: experiments %q, chaos %q", name, ef.DefValue, cf.DefValue)
+		}
+		if name != "full" && ef.Usage != cf.Usage {
+			t.Errorf("-%s usage diverges:\n  experiments: %s\n  chaos: %s", name, ef.Usage, cf.Usage)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vivo/internal/sim"
+)
+
+// TestCheckpointsFireInOrderAtTheirTimes pins the callback contract: one
+// firing per checkpoint, in order, with the virtual clock paused at the
+// checkpoint time and the live run state visible.
+func TestCheckpointsFireInOrderAtTheirTimes(t *testing.T) {
+	h := quickHarness(true)
+	cps := []sim.Time{5 * time.Second, 10 * time.Second, h.LoadFor}
+	h.Checkpoints = cps
+	var at []sim.Time
+	var issued []int64
+	h.OnCheckpoint = func(i int, run *Run) {
+		if i != len(at) {
+			t.Errorf("checkpoint %d fired out of order (have %d)", i, len(at))
+		}
+		at = append(at, run.K.Now())
+		issued = append(issued, run.Clients.Issued())
+	}
+	if _, err := h.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(at) != len(cps) {
+		t.Fatalf("%d checkpoint firings, want %d", len(at), len(cps))
+	}
+	for i, cp := range cps {
+		if at[i] > cp {
+			t.Errorf("checkpoint %d fired at %v, after its time %v", i, at[i], cp)
+		}
+	}
+	for i := 1; i < len(issued); i++ {
+		if issued[i] < issued[i-1] {
+			t.Errorf("issued count went backwards between checkpoints: %v", issued)
+		}
+	}
+	if issued[0] == 0 {
+		t.Error("no load issued by the first checkpoint; run state not live")
+	}
+}
+
+// TestCheckpointValidation rejects malformed checkpoint lists before any
+// simulation runs.
+func TestCheckpointValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cps  []sim.Time
+	}{
+		{"zero checkpoint", []sim.Time{0, 5 * time.Second}},
+		{"descending", []sim.Time{10 * time.Second, 5 * time.Second}},
+		{"duplicate", []sim.Time{5 * time.Second, 5 * time.Second}},
+		{"beyond LoadFor", []sim.Time{25 * time.Second}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := quickHarness(false)
+			h.Checkpoints = tc.cps
+			_, err := h.Run()
+			if err == nil {
+				t.Fatal("invalid checkpoint list accepted")
+			}
+			if !strings.Contains(err.Error(), "checkpoint") {
+				t.Fatalf("error does not name the checkpoint: %v", err)
+			}
+		})
+	}
+}
+
+// TestCheckpointsDoNotPerturbTheRun extends the zero-perturbation
+// contract to segmented running: a checkpointed run with an observing
+// callback must be step-for-step identical to the same run without
+// checkpoints.
+func TestCheckpointsDoNotPerturbTheRun(t *testing.T) {
+	bare, err := quickHarness(true).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := quickHarness(true)
+	h.Checkpoints = []sim.Time{4 * time.Second, 9 * time.Second, 14 * time.Second}
+	fired := 0
+	h.OnCheckpoint = func(i int, run *Run) {
+		fired++
+		_ = run.Deployment.Inventory() // reads must be free
+		_ = run.Rec.Timeline()
+	}
+	segmented, err := h.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 {
+		t.Fatalf("%d firings, want 3", fired)
+	}
+	if a, b := bare.K.Steps(), segmented.K.Steps(); a != b {
+		t.Errorf("kernel steps diverge: bare %d, segmented %d", a, b)
+	}
+	s1, f1 := bare.Rec.Totals()
+	s2, f2 := segmented.Rec.Totals()
+	if s1 != s2 || f1 != f2 {
+		t.Errorf("totals diverge: bare %d/%d, segmented %d/%d", s1, f1, s2, f2)
+	}
+	if a, b := bare.Clients.Issued(), segmented.Clients.Issued(); a != b {
+		t.Errorf("issued requests diverge: %d vs %d", a, b)
+	}
+}

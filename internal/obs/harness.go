@@ -60,6 +60,18 @@ type Harness struct {
 	// probe-registered sink. Pass an untyped nil to disable — a typed
 	// nil pointer in the interface would be fed and dereferenced.
 	Sink trace.Sink
+	// Checkpoints, when non-empty, must be strictly ascending and at
+	// most LoadFor: the kernel runs in segments and OnCheckpoint fires
+	// between them with the live run (the chaos soak mode judges
+	// invariants mid-run this way). Checkpoint callbacks are observers:
+	// like probes they must not perturb the run — no randomness, no
+	// scheduled events. Segmented running emits one kernel "run" trace
+	// event per segment; otherwise the event stream is untouched.
+	Checkpoints []sim.Time
+	// OnCheckpoint receives the 0-based checkpoint index and the run
+	// state with the virtual clock paused at (or just before, if the
+	// event queue went quiet early) Checkpoints[i].
+	OnCheckpoint func(i int, run *Run)
 }
 
 // Runtime is what a probe sees at attach time: the kernel and the
@@ -157,13 +169,28 @@ func (h Harness) Run(probes ...Probe) (*Run, error) {
 		}
 	}
 
+	prev := sim.Time(0)
+	for i, cp := range h.Checkpoints {
+		if cp <= prev || cp > h.LoadFor {
+			return nil, fmt.Errorf("obs: checkpoint %d at %v outside (%v, LoadFor %v]", i, cp, prev, h.LoadFor)
+		}
+		prev = cp
+	}
+
+	run := &Run{K: k, Rec: rec, Clients: cl, Deployment: d, End: h.LoadFor}
+	for i, cp := range h.Checkpoints {
+		k.Run(cp)
+		if h.OnCheckpoint != nil {
+			h.OnCheckpoint(i, run)
+		}
+	}
+
 	k.Run(h.LoadFor)
 	if h.Drain > 0 {
 		cl.Stop()
 		k.Run(h.LoadFor + h.Drain)
 	}
 
-	run := &Run{K: k, Rec: rec, Clients: cl, Deployment: d, End: h.LoadFor}
 	for _, p := range probes {
 		p.Finalize(run)
 	}

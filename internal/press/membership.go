@@ -22,6 +22,11 @@ func (s *Server) reconfigure(x int, announce bool) {
 	s.mark(fmt.Sprintf("reconfigured: removed n%d, members now %v", x, s.Members()))
 	if pc := s.conns[x]; pc != nil {
 		delete(s.conns, x)
+		if s.spec.EvictFarewell {
+			// Fixture bug (see VersionSpec.EvictFarewell): address the
+			// peer we just evicted before tearing the channel down.
+			s.sendDirect(pc, msgNodeDown, wire{Node: x}, smallMsgSize)
+		}
 		pc.Close()
 	}
 	// Flush locality information for the departed node.

@@ -429,8 +429,12 @@ func (s *Server) admit(r int, pc substrate.PeerConn) {
 	s.conns[r] = pc
 	delete(s.joinPending, r)
 	s.det.resetGrace()
-	s.sendCacheSummary(r)
+	// Emit the membership change before the cache summary goes out: the
+	// re-admission must precede sends to the re-admitted peer in the
+	// event stream (the chaos no-send-after-evict oracle folds over
+	// emission order).
 	s.emitMembership("admitted", r)
+	s.sendCacheSummary(r)
 	s.mark(fmt.Sprintf("admitted n%d", r))
 }
 

@@ -85,6 +85,15 @@ type VersionSpec struct {
 	// Remerge defaults the §6.2 rigorous-membership ablation on.
 	Remerge bool
 
+	// EvictFarewell is a fault-injection fixture, not a real build knob:
+	// the server sends one parting message to a peer *after* removing it
+	// from the membership view, deliberately violating the chaos
+	// "no send after eviction" ordering invariant. The chaos oracle tests
+	// register a TCP-PRESS-HB clone with this bit set to prove the
+	// detect → shrink → replay pipeline end to end (the ordering analogue
+	// of the ForbidFault oracle fixture).
+	EvictFarewell bool
+
 	// PaperThroughput is the version's Table-1 near-peak throughput
 	// (requests/second on four nodes), the cost-model calibration target.
 	PaperThroughput float64
